@@ -1,0 +1,153 @@
+// Command entangling-sim runs one workload under one prefetcher
+// configuration and prints the run's metrics.
+//
+// Examples:
+//
+//	entangling-sim -workload srv -seed 3 -prefetcher entangling-4k
+//	entangling-sim -workload cassandra -prefetcher mana-4k -measure 2000000
+//	entangling-sim -workload int -prefetcher ideal -physical
+//	entangling-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"entangling"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "srv", "workload: crypto|int|fp|srv|cloud or a CloudSuite name (cassandra, cloud9, nutch, streaming)")
+		traceIn = flag.String("trace", "", "run from a trace file (see cmd/tracegen) instead of a synthetic workload")
+		seed    = flag.Uint64("seed", 1, "workload seed (variant selector)")
+		pf      = flag.String("prefetcher", "entangling-4k", `prefetcher configuration, "no", or "ideal"`)
+		warmup  = flag.Uint64("warmup", 2_000_000, "warm-up instructions (discarded)")
+		measure = flag.Uint64("measure", 1_000_000, "measured instructions")
+		phys    = flag.Bool("physical", false, "train hierarchy and prefetcher on physical addresses")
+		l1iWays = flag.Int("l1i-ways", 0, "override L1I associativity (16 = 64KB, 24 = 96KB)")
+		list    = flag.Bool("list", false, "list registered prefetchers and exit")
+		base    = flag.Bool("baseline", true, "also run the no-prefetch baseline for speedup/coverage")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range entangling.Prefetchers() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := entangling.Configuration{Name: *pf, Physical: *phys, L1IWays: *l1iWays}
+	switch *pf {
+	case "no":
+	case "ideal":
+		cfg.IdealL1I = true
+	default:
+		cfg.Prefetcher = *pf
+	}
+
+	var (
+		r    entangling.Results
+		err  error
+		name string
+	)
+	if *traceIn != "" {
+		name = *traceIn
+		r, err = runTrace(cfg, *traceIn, *warmup, *measure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*base = false // no baseline rerun for file traces (reader is single-pass)
+	} else {
+		var spec entangling.WorkloadSpec
+		spec, err = resolveWorkload(*wl, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		name = spec.Name
+		r, err = entangling.Run(cfg, spec, *warmup, *measure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if *base && *pf != "no" {
+				printBaseline(spec, r, *phys, *warmup, *measure)
+			}
+		}()
+	}
+
+	fmt.Printf("workload           %s (seed %d)\n", name, *seed)
+	fmt.Printf("prefetcher         %s (%.2f KB)\n", r.PrefetcherName, float64(r.StorageBits)/8/1024)
+	fmt.Printf("instructions       %d (+%d warm-up)\n", r.Instructions, *warmup)
+	fmt.Printf("cycles             %d\n", r.Cycles)
+	fmt.Printf("IPC                %.4f\n", r.IPC)
+	fmt.Printf("L1I accesses       %d\n", r.L1I.Accesses)
+	fmt.Printf("L1I hit rate       %.4f\n", r.L1IHitRate())
+	fmt.Printf("L1I MPKI           %.2f\n", r.L1IMPKI())
+	fmt.Printf("prefetches issued  %d\n", r.L1I.PrefetchIssued)
+	fmt.Printf("prefetch accuracy  %.3f\n", r.L1I.Accuracy())
+	fmt.Printf("timely / late      %d / %d\n", r.L1I.TimelyPrefetchHits, r.L1I.LatePrefetches)
+	fmt.Printf("cond br accuracy   %.4f\n", r.CondAccuracy)
+}
+
+// printBaseline reruns the workload without prefetching and prints
+// speedup and coverage.
+func printBaseline(spec entangling.WorkloadSpec, r entangling.Results, phys bool, warmup, measure uint64) {
+	b, err := entangling.Run(entangling.Configuration{Name: "no", Physical: phys}, spec, warmup, measure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cov := 0.0
+	if b.L1I.Misses > 0 {
+		cov = 1 - float64(r.L1I.Misses)/float64(b.L1I.Misses)
+	}
+	fmt.Printf("baseline IPC       %.4f\n", b.IPC)
+	fmt.Printf("speedup            %+.2f%%\n", (r.IPC/b.IPC-1)*100)
+	fmt.Printf("coverage           %.3f\n", cov)
+}
+
+func resolveWorkload(name string, seed uint64) (entangling.WorkloadSpec, error) {
+	switch entangling.Category(name) {
+	case entangling.Crypto, entangling.Int, entangling.FP, entangling.Srv, entangling.Cloud:
+		p := entangling.VaryWorkload(entangling.WorkloadPreset(entangling.Category(name)), seed)
+		p.Name = fmt.Sprintf("%s-%d", name, seed)
+		return entangling.WorkloadSpec{Name: p.Name, Params: p}, nil
+	}
+	for _, s := range entangling.CloudWorkloads() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return entangling.WorkloadSpec{}, fmt.Errorf(
+		"unknown workload %q (want crypto|int|fp|srv|cloud or one of: %s)",
+		name, strings.Join(cloudNames(), ", "))
+}
+
+func cloudNames() []string {
+	var out []string
+	for _, s := range entangling.CloudWorkloads() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// runTrace runs the configuration over a trace file.
+func runTrace(cfg entangling.Configuration, path string, warmup, measure uint64) (entangling.Results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return entangling.Results{}, err
+	}
+	defer f.Close()
+	src, err := entangling.OpenTrace(f)
+	if err != nil {
+		return entangling.Results{}, err
+	}
+	return entangling.RunSource(cfg, src, warmup, measure)
+}

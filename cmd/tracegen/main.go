@@ -1,0 +1,125 @@
+// Command tracegen generates synthetic instruction traces in the
+// repository's binary trace format, and inspects existing trace files.
+//
+// Examples:
+//
+//	tracegen -category srv -seed 7 -n 1000000 -o srv7.trace -gzip
+//	tracegen -inspect srv7.trace -head 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"entangling"
+	"entangling/internal/trace"
+	"entangling/internal/workload"
+)
+
+func main() {
+	var (
+		category = flag.String("category", "srv", "workload category: crypto|int|fp|srv|cloud")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		n        = flag.Uint64("n", 1_000_000, "instructions to generate")
+		out      = flag.String("o", "", "output trace file (required unless -inspect)")
+		gz       = flag.Bool("gzip", false, "compress the payload")
+		inspect  = flag.String("inspect", "", "trace file to inspect instead of generating")
+		head     = flag.Int("head", 10, "records to print when inspecting")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect, *head); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("-o is required (or use -inspect)"))
+	}
+
+	p := entangling.VaryWorkload(entangling.WorkloadPreset(entangling.Category(*category)), *seed)
+	p.Name = fmt.Sprintf("%s-%d", *category, *seed)
+	prog, err := workload.BuildProgram(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, *gz)
+	if err != nil {
+		fatal(err)
+	}
+	src := workload.NewWalker(prog)
+	var in trace.Instruction
+	for i := uint64(0); i < *n && src.Next(&in); i++ {
+		if err := w.Write(&in); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %d instructions to %s (%d bytes, %.2f bytes/instr, code footprint %.1f KB)\n",
+		w.Count(), *out, st.Size(), float64(st.Size())/float64(w.Count()),
+		float64(prog.FootprintBytes)/1024)
+}
+
+func inspectTrace(path string, head int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var in trace.Instruction
+	var count, branches, taken, loads, stores uint64
+	lines := map[uint64]struct{}{}
+	for r.Next(&in) {
+		if count < uint64(head) {
+			fmt.Println(trace.Describe(&in))
+		}
+		count++
+		if in.Branch.IsBranch() {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+		if in.IsLoad {
+			loads++
+		}
+		if in.IsStore {
+			stores++
+		}
+		lines[in.PC>>6] = struct{}{}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("---\n%d instructions, %d branches (%.1f%% taken), %d loads, %d stores, %d code lines (%.1f KB)\n",
+		count, branches, 100*float64(taken)/float64(max(branches, 1)), loads, stores,
+		len(lines), float64(len(lines))*64/1024)
+	return nil
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

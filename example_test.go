@@ -1,0 +1,60 @@
+package entangling_test
+
+// Compile-checked usage examples for the public API (shown in godoc).
+
+import (
+	"fmt"
+
+	"entangling"
+)
+
+// Example_singleRun shows the minimal flow: one workload, one
+// configuration, headline metrics.
+func Example_singleRun() {
+	params := entangling.VaryWorkload(entangling.WorkloadPreset(entangling.Srv), 42)
+	params.Name = "my-server"
+	wl := entangling.WorkloadSpec{Name: params.Name, Params: params}
+
+	cfg := entangling.Configuration{Name: "entangling-4k", Prefetcher: "entangling-4k"}
+	r, err := entangling.Run(cfg, wl, 2_000_000, 1_000_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("IPC %.2f, L1I hit rate %.3f, accuracy %.2f",
+		r.IPC, r.L1IHitRate(), r.L1I.Accuracy())
+}
+
+// Example_suite shows sweeping the paper's configurations over a suite
+// and rendering Figure 6.
+func Example_suite() {
+	specs := entangling.Workloads(2)
+	suite, err := entangling.RunSuite(specs, entangling.StandardConfigurations(),
+		entangling.QuickOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(entangling.Fig06(suite).String())
+}
+
+// Example_customPrefetcher shows plugging a user-defined prefetcher
+// into the harness.
+func Example_customPrefetcher() {
+	type nextTwo struct {
+		entangling.PrefetcherBase
+		issuer entangling.Issuer
+	}
+	// Method values cannot be declared inside an example; a real
+	// implementation defines OnAccess on the type:
+	//
+	//	func (p *nextTwo) OnAccess(ev entangling.AccessEvent) {
+	//	    p.issuer.Prefetch(ev.Cycle, ev.LineAddr+1, 0)
+	//	    p.issuer.Prefetch(ev.Cycle, ev.LineAddr+2, 0)
+	//	}
+	entangling.RegisterPrefetcher("next-two", func(is entangling.Issuer) entangling.Prefetcher {
+		return &nextTwo{
+			PrefetcherBase: entangling.PrefetcherBase{PfName: "next-two"},
+			issuer:         is,
+		}
+	})
+	fmt.Println(len(entangling.Prefetchers()) > 0)
+}

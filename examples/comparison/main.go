@@ -1,0 +1,60 @@
+// Comparison sweeps the paper's full prefetcher lineup (§IV-B) over a
+// small mixed suite and prints the storage-vs-performance trade-off of
+// Figure 6, including where each budget of the Entangling prefetcher
+// lands relative to the state of the art.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"entangling"
+)
+
+func main() {
+	specs := entangling.Workloads(2) // 2 workloads per category = 8 runs per config
+	opt := entangling.QuickOptions()
+
+	fmt.Printf("sweeping %d configurations over %d workloads "+
+		"(%d warm-up + %d measured instructions each)...\n\n",
+		len(entangling.StandardConfigurations()), len(specs), opt.Warmup, opt.Measure)
+
+	suite, err := entangling.RunSuite(specs, entangling.StandardConfigurations(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name    string
+		kb      float64
+		speedup float64
+	}
+	var rows []row
+	for _, c := range suite.ConfigOrder {
+		if c == "no" {
+			continue
+		}
+		rows = append(rows, row{c, suite.StorageKB(c), (suite.GeomeanSpeedup(c) - 1) * 100})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].speedup < rows[j].speedup })
+
+	fmt.Printf("%-16s %12s %16s\n", "configuration", "storage", "geomean speedup")
+	fmt.Println("----------------------------------------------")
+	for _, r := range rows {
+		storage := fmt.Sprintf("%.2f KB", r.kb)
+		if r.kb == 0 {
+			storage = "-"
+		}
+		fmt.Printf("%-16s %12s %+15.2f%%\n", r.name, storage, r.speedup)
+	}
+
+	fmt.Println()
+	e2k := (suite.GeomeanSpeedup("entangling-2k") - 1) * 100
+	m8k := (suite.GeomeanSpeedup("mana-8k") - 1) * 100
+	fmt.Printf("paper's key claim check: Entangling-2K (%.2f KB, %+.2f%%) vs MANA-8K (%.2f KB, %+.2f%%)\n",
+		suite.StorageKB("entangling-2k"), e2k, suite.StorageKB("mana-8k"), m8k)
+	if e2k > m8k {
+		fmt.Println("=> the low-budget Entangling outperforms the high-budget MANA, as in the paper")
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: build one server-like workload, run it with and without
+// the Entangling prefetcher, and print the headline numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"entangling"
+)
+
+func main() {
+	// A server workload: large instruction footprint, deep call
+	// chains — the class of application the paper targets.
+	params := entangling.VaryWorkload(entangling.WorkloadPreset(entangling.Srv), 42)
+	params.Name = "srv-quickstart"
+	wl := entangling.WorkloadSpec{Name: params.Name, Params: params}
+
+	const warmup, measure = 1_000_000, 1_000_000
+
+	baseline, err := entangling.Run(entangling.Baseline, wl, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := entangling.Configuration{Name: "entangling-4k", Prefetcher: "entangling-4k"}
+	withPf, err := entangling.Run(cfg, wl, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (L1I MPKI %.1f without prefetching)\n\n", wl.Name, baseline.L1IMPKI())
+	fmt.Printf("%-22s %10s %12s %10s\n", "configuration", "IPC", "L1I hit rate", "storage")
+	fmt.Printf("%-22s %10.3f %12.4f %10s\n", "no prefetcher", baseline.IPC, baseline.L1IHitRate(), "-")
+	fmt.Printf("%-22s %10.3f %12.4f %7.1f KB\n", "entangling-4k", withPf.IPC, withPf.L1IHitRate(),
+		float64(withPf.StorageBits)/8/1024)
+
+	coverage := 1 - float64(withPf.L1I.Misses)/float64(baseline.L1I.Misses)
+	fmt.Printf("\nspeedup  %+.1f%%   coverage %.1f%%   accuracy %.1f%%\n",
+		(withPf.IPC/baseline.IPC-1)*100, coverage*100, withPf.L1I.Accuracy()*100)
+}

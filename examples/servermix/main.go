@@ -1,0 +1,67 @@
+// Servermix reproduces the paper's motivating scenario (§I): server
+// applications with instruction footprints far beyond the L1I, where
+// the front-end stalls dominate. It runs a mix of server workloads
+// under the baseline, a next-line prefetcher, the Entangling
+// prefetcher and an ideal L1I, and reports how much of the ideal gap
+// each recovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"entangling"
+)
+
+func main() {
+	const warmup, measure = 1_500_000, 1_000_000
+
+	// Four independent server workloads (different seeds = different
+	// programs of the same class).
+	var specs []entangling.WorkloadSpec
+	for seed := uint64(1); seed <= 4; seed++ {
+		p := entangling.VaryWorkload(entangling.WorkloadPreset(entangling.Srv), seed*977)
+		p.Name = fmt.Sprintf("srv-mix-%d", seed)
+		specs = append(specs, entangling.WorkloadSpec{Name: p.Name, Params: p})
+	}
+
+	configs := []entangling.Configuration{
+		entangling.Baseline,
+		{Name: "nextline", Prefetcher: "nextline"},
+		{Name: "entangling-4k", Prefetcher: "entangling-4k"},
+		{Name: "ideal", IdealL1I: true},
+	}
+
+	opt := entangling.Options{Warmup: warmup, Measure: measure}
+	suite, err := entangling.RunSuite(specs, configs, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s", "workload")
+	for _, c := range configs {
+		fmt.Printf(" %14s", c.Name)
+	}
+	fmt.Println("   (IPC; MPKI for baseline)")
+	for _, s := range specs {
+		fmt.Printf("%-14s", s.Name)
+		for _, c := range configs {
+			r := suite.Runs[c.Name][s.Name]
+			fmt.Printf(" %14.3f", r.R.IPC)
+		}
+		base := suite.Runs["no"][s.Name].R
+		fmt.Printf("   MPKI=%.1f\n", base.L1IMPKI())
+	}
+
+	fmt.Println()
+	ideal := suite.GeomeanSpeedup("ideal")
+	for _, c := range configs[1:] {
+		sp := suite.GeomeanSpeedup(c.Name)
+		share := 0.0
+		if ideal > 1 {
+			share = (sp - 1) / (ideal - 1) * 100
+		}
+		fmt.Printf("%-14s geomean speedup %+6.1f%%  (recovers %5.1f%% of the ideal-L1I gap)\n",
+			c.Name, (sp-1)*100, share)
+	}
+}

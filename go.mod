@@ -1,0 +1,3 @@
+module entangling
+
+go 1.22

@@ -1,0 +1,208 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"entangling/internal/trace"
+)
+
+func condBranch(pc uint64, taken bool) *trace.Instruction {
+	return &trace.Instruction{PC: pc, Size: 4, Branch: trace.CondBranch, Taken: taken, Target: pc + 64}
+}
+
+func TestAlwaysTakenBranchLearns(t *testing.T) {
+	p := New(Config{})
+	var miss int
+	for i := 0; i < 1000; i++ {
+		out := p.Process(condBranch(0x1000, true))
+		if out.DirMispredict {
+			miss++
+		}
+	}
+	if miss > 5 {
+		t.Errorf("always-taken branch mispredicted %d/1000 times", miss)
+	}
+	if acc := p.CondAccuracy(); acc < 0.99 {
+		t.Errorf("accuracy %.3f", acc)
+	}
+}
+
+func TestAlternatingBranchGshareLearns(t *testing.T) {
+	// T,N,T,N... is perfectly predictable with global history.
+	p := New(Config{})
+	var missLate int
+	for i := 0; i < 2000; i++ {
+		out := p.Process(condBranch(0x2000, i%2 == 0))
+		if i >= 1000 && out.DirMispredict {
+			missLate++
+		}
+	}
+	if missLate > 50 {
+		t.Errorf("alternating branch mispredicted %d/1000 after warmup", missLate)
+	}
+}
+
+func TestBTBMissThenHit(t *testing.T) {
+	p := New(Config{})
+	jmp := &trace.Instruction{PC: 0x3000, Size: 4, Branch: trace.DirectJump, Taken: true, Target: 0x9000}
+	out := p.Process(jmp)
+	if !out.BTBMiss {
+		t.Error("first taken jump should be a BTB miss")
+	}
+	out = p.Process(jmp)
+	if out.BTBMiss {
+		t.Error("second taken jump should hit the BTB")
+	}
+	if out.PredTarget != 0x9000 {
+		t.Errorf("PredTarget = %#x", out.PredTarget)
+	}
+}
+
+func TestBTBStaleTargetRedirects(t *testing.T) {
+	p := New(Config{})
+	a := &trace.Instruction{PC: 0x3000, Size: 4, Branch: trace.DirectJump, Taken: true, Target: 0x9000}
+	p.Process(a)
+	p.Process(a)
+	b := *a
+	b.Target = 0xA000
+	out := p.Process(&b)
+	if !out.BTBMiss {
+		t.Error("stale BTB target should cause a redirect")
+	}
+	out = p.Process(&b)
+	if out.BTBMiss {
+		t.Error("updated BTB entry should hit")
+	}
+}
+
+func TestBTBEviction(t *testing.T) {
+	p := New(Config{BTBSets: 2, BTBWays: 2})
+	// Fill one set (pc>>2 % 2): pcs with the same parity of pc>>2.
+	mk := func(pc uint64) *trace.Instruction {
+		return &trace.Instruction{PC: pc, Size: 4, Branch: trace.DirectJump, Taken: true, Target: pc + 0x100}
+	}
+	p.Process(mk(0x1000)) // set 0
+	p.Process(mk(0x2000)) // set 0
+	p.Process(mk(0x3000)) // set 0 -> evicts LRU (0x1000)
+	if out := p.Process(mk(0x2000)); out.BTBMiss {
+		t.Error("recently used entry was evicted")
+	}
+	if out := p.Process(mk(0x1000)); !out.BTBMiss {
+		t.Error("LRU entry should have been evicted")
+	}
+}
+
+func TestRASCallReturn(t *testing.T) {
+	p := New(Config{})
+	call := &trace.Instruction{PC: 0x4000, Size: 4, Branch: trace.DirectCall, Taken: true, Target: 0x8000}
+	p.Process(call)
+	if p.RASDepth() != 1 {
+		t.Fatalf("RAS depth = %d", p.RASDepth())
+	}
+	ret := &trace.Instruction{PC: 0x8010, Size: 4, Branch: trace.Return, Taken: true, Target: 0x4004}
+	out := p.Process(ret)
+	if out.TargetMispredict {
+		t.Error("matched return mispredicted")
+	}
+	if out.PredTarget != 0x4004 {
+		t.Errorf("RAS target = %#x, want 0x4004", out.PredTarget)
+	}
+}
+
+func TestRASUnderflowMispredicts(t *testing.T) {
+	p := New(Config{})
+	ret := &trace.Instruction{PC: 0x8010, Size: 4, Branch: trace.Return, Taken: true, Target: 0x4004}
+	out := p.Process(ret)
+	if !out.TargetMispredict {
+		t.Error("return with empty RAS should mispredict")
+	}
+}
+
+func TestRASOverflowKeepsNewest(t *testing.T) {
+	p := New(Config{RASSize: 4})
+	for i := 0; i < 8; i++ {
+		call := &trace.Instruction{PC: uint64(0x1000 + i*16), Size: 4, Branch: trace.DirectCall, Taken: true, Target: 0x9000}
+		p.Process(call)
+	}
+	// The newest return address must still be correct.
+	ret := &trace.Instruction{PC: 0x9000, Size: 4, Branch: trace.Return, Taken: true, Target: 0x1000 + 7*16 + 4}
+	if out := p.Process(ret); out.TargetMispredict {
+		t.Error("newest RAS entry lost on overflow")
+	}
+}
+
+func TestIndirectTargetCacheLearns(t *testing.T) {
+	p := New(Config{})
+	ij := &trace.Instruction{PC: 0x5000, Size: 4, Branch: trace.IndirectJump, Taken: true, Target: 0x7000}
+	out := p.Process(ij)
+	if !out.TargetMispredict {
+		t.Error("cold indirect jump should mispredict")
+	}
+	// The jump itself updates the path history, so the ITC index only
+	// stabilizes once the 64-bit path hash saturates (~22 iterations of
+	// the same jump). After that, every prediction must be correct.
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if p.Process(ij).TargetMispredict {
+			miss++
+		}
+	}
+	if miss > 30 {
+		t.Errorf("indirect jump mispredicted %d/100 after cold start", miss)
+	}
+	if p.Process(ij).TargetMispredict {
+		t.Error("indirect jump still mispredicting after path saturation")
+	}
+}
+
+func TestNonBranchIsNoop(t *testing.T) {
+	p := New(Config{})
+	out := p.Process(&trace.Instruction{PC: 0x100, Size: 4})
+	if out.Redirect() || out.PredTaken {
+		t.Error("non-branch produced a prediction")
+	}
+	if p.Lookups != 0 {
+		t.Error("non-branch counted as lookup")
+	}
+}
+
+func TestOutcomeRedirect(t *testing.T) {
+	if (Outcome{}).Redirect() {
+		t.Error("empty outcome redirects")
+	}
+	for _, o := range []Outcome{{BTBMiss: true}, {DirMispredict: true}, {TargetMispredict: true}} {
+		if !o.Redirect() {
+			t.Errorf("%+v should redirect", o)
+		}
+	}
+}
+
+func TestRandomBranchAccuracyReasonable(t *testing.T) {
+	// Branches with purely random 80%-taken outcomes have a prediction
+	// ceiling of 80%; the tournament predictor should get close to it
+	// (gshare aliasing costs a few points).
+	p := New(Config{})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50_000; i++ {
+		pc := uint64(0x1000 + (rng.Intn(256) * 4))
+		p.Process(condBranch(pc, rng.Float64() < 0.8))
+	}
+	if acc := p.CondAccuracy(); acc < 0.70 {
+		t.Errorf("accuracy %.3f on biased random branches", acc)
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	p := New(Config{})
+	def := DefaultConfig()
+	if p.cfg != def {
+		t.Errorf("zero config not defaulted: %+v", p.cfg)
+	}
+}
+
+func TestCondAccuracyEmpty(t *testing.T) {
+	if New(Config{}).CondAccuracy() != 1 {
+		t.Error("accuracy with no lookups should be 1")
+	}
+}

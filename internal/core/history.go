@@ -1,0 +1,171 @@
+package core
+
+// historyBuffer is the paper's History buffer (§III-A2): a small
+// circular queue of recently accessed basic-block heads, each with the
+// 20-bit timestamp of its first L1I access and its basic-block size.
+// It provides two operations:
+//
+//   - searchSource: walk backwards from a position to find the first
+//     (most recent) head accessed at least `latency` cycles before a
+//     miss — the src-entangled candidate.
+//   - merge: find a quasi-consecutive earlier basic block to absorb a
+//     newly completed one (§III-B2).
+//
+// Timestamps wrap at 2^20 cycles as in the hardware design; all
+// comparisons are wrap-aware.
+type historyBuffer struct {
+	entries []historyEntry
+	head    int // next insertion position
+	count   int // valid entries (saturates at len)
+}
+
+type historyEntry struct {
+	line uint64 // line address (58/42-bit tag in hardware)
+	ts   uint32 // 20-bit wrapping timestamp
+	size uint8  // 6-bit basic-block size (lines after the head)
+}
+
+// tsBits is the timestamp width.
+const tsBits = 20
+
+// tsMask wraps timestamps.
+const tsMask = 1<<tsBits - 1
+
+// wrapTS truncates a cycle count to the stored timestamp width.
+func wrapTS(cycle uint64) uint32 { return uint32(cycle & tsMask) }
+
+// tsDiff returns (a - b) in wrap-aware 20-bit arithmetic: the age of b
+// relative to a, assuming it is less than 2^20 cycles.
+func tsDiff(a, b uint32) uint32 { return (a - b) & tsMask }
+
+func newHistory(size int) *historyBuffer {
+	if size < 1 {
+		panic("core: history size must be >= 1")
+	}
+	return &historyBuffer{entries: make([]historyEntry, size)}
+}
+
+// push records a new basic-block head and returns its position. The
+// head is pushed at its FIRST access (so its timestamp is the access
+// time); its size field is updated in place as the block grows
+// (§III-A2, §III-B2).
+func (h *historyBuffer) push(line uint64, ts uint32, size uint8) int {
+	pos := h.head
+	h.entries[pos] = historyEntry{line: line, ts: ts, size: size}
+	h.head = (h.head + 1) % len(h.entries)
+	if h.count < len(h.entries) {
+		h.count++
+	}
+	return pos
+}
+
+// updateSize grows the block size of the entry at pos, provided the
+// position still holds the same head (it may have been recycled).
+func (h *historyBuffer) updateSize(pos int, line uint64, size uint8) {
+	if h.entries[pos].line == line {
+		h.entries[pos].size = size
+	}
+}
+
+// invalidate clears the entry at pos if it still holds line (used when
+// a just-pushed block is merged into an earlier one and must not stay
+// in the history).
+func (h *historyBuffer) invalidate(pos int, line uint64) {
+	if h.entries[pos].line == line {
+		h.entries[pos].line = ^uint64(0)
+	}
+}
+
+// candidateSnapshot is the history content relevant to one outstanding
+// miss: the paper stores a pointer into the History buffer in the MSHR
+// entry; modelling-wise we capture the (line, ts, valid) view at miss
+// time, so fill-time source selection sees the pre-miss history even
+// though the decoupled front-end keeps pushing new heads while the miss
+// is outstanding.
+type candidateSnapshot struct {
+	lines []uint64
+	ts    []uint32
+}
+
+// snapshot captures the current entries, most recent first, excluding
+// invalidated ones and the excluded line (the missing head itself).
+func (h *historyBuffer) snapshot(exclude uint64) candidateSnapshot {
+	n := len(h.entries)
+	snap := candidateSnapshot{
+		lines: make([]uint64, 0, h.count),
+		ts:    make([]uint32, 0, h.count),
+	}
+	for i := 1; i <= h.count; i++ {
+		pos := (h.head - i + n) % n
+		e := &h.entries[pos]
+		if e.line == ^uint64(0) || e.line == exclude {
+			continue
+		}
+		snap.lines = append(snap.lines, e.line)
+		snap.ts = append(snap.ts, e.ts)
+	}
+	return snap
+}
+
+// sources returns up to maxResults source lines from the snapshot that
+// were accessed at least latency cycles before missTS, most recent
+// first.
+func (s *candidateSnapshot) sources(missTS, latency uint32, maxResults int) []uint64 {
+	var out []uint64
+	for i := range s.lines {
+		age := tsDiff(missTS, s.ts[i])
+		if age >= latency && age <= tsMask/2 {
+			out = append(out, s.lines[i])
+			if len(out) == maxResults {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// merge tries to absorb a completed basic block [line, line+size] into
+// one of the last `window` history entries whose block is consecutive
+// or overlapping in space (§III-B2). On success the earlier entry's
+// size is extended (capped at 63) and merge returns the absorbing head
+// and its merged size, so the caller can update the Entangled table
+// entry of the absorbing block instead of recording the merged one.
+func (h *historyBuffer) merge(line uint64, size uint8, newTS uint32, window int, skipPos int) (head uint64, merged uint8, ok bool) {
+	n := len(h.entries)
+	if window > h.count {
+		window = h.count
+	}
+	for i := 1; i <= window; i++ {
+		pos := (h.head - i + n) % n
+		if pos == skipPos {
+			continue
+		}
+		e := &h.entries[pos]
+		if e.line == ^uint64(0) {
+			continue
+		}
+		// Overlapping or consecutive: e covers [e.line, e.line+e.size];
+		// the new block starts within or immediately after it.
+		if line >= e.line && line <= e.line+uint64(e.size)+1 {
+			newEnd := line + uint64(size)
+			oldEnd := e.line + uint64(e.size)
+			if newEnd > oldEnd {
+				m := newEnd - e.line
+				if m > 63 {
+					// 6-bit size field: merging refused (§III-B2).
+					return 0, 0, false
+				}
+				e.size = uint8(m)
+			}
+			if e.line == line {
+				// Same head: this is a re-execution, not a spatial
+				// extension; the entry's access time must refresh or
+				// latency-based source selection would use a stale
+				// timestamp forever on hot blocks.
+				e.ts = newTS
+			}
+			return e.line, e.size, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,173 @@
+package core
+
+import "testing"
+
+func TestHistoryPushWrap(t *testing.T) {
+	h := newHistory(4)
+	for i := uint64(0); i < 6; i++ {
+		h.push(i, wrapTS(i*10), 0)
+	}
+	// Entries 2..5 remain.
+	snap := h.snapshot(^uint64(0) - 1)
+	if len(snap.lines) != 4 {
+		t.Fatalf("snapshot has %d entries, want 4", len(snap.lines))
+	}
+	if snap.lines[0] != 5 || snap.lines[3] != 2 {
+		t.Errorf("snapshot order wrong: %v", snap.lines)
+	}
+}
+
+func TestHistoryUpdateSizeAndInvalidate(t *testing.T) {
+	h := newHistory(4)
+	pos := h.push(100, 0, 0)
+	h.updateSize(pos, 100, 3)
+	if h.entries[pos].size != 3 {
+		t.Error("updateSize failed")
+	}
+	// Stale position (recycled): no effect.
+	h.updateSize(pos, 999, 7)
+	if h.entries[pos].size != 3 {
+		t.Error("updateSize touched a recycled slot")
+	}
+	h.invalidate(pos, 100)
+	snap := h.snapshot(0)
+	for _, l := range snap.lines {
+		if l == 100 {
+			t.Error("invalidated entry still visible")
+		}
+	}
+}
+
+func TestSnapshotExcludes(t *testing.T) {
+	h := newHistory(8)
+	h.push(1, 10, 0)
+	h.push(2, 20, 0)
+	h.push(3, 30, 0)
+	snap := h.snapshot(2)
+	if len(snap.lines) != 2 {
+		t.Fatalf("got %d entries, want 2", len(snap.lines))
+	}
+	for _, l := range snap.lines {
+		if l == 2 {
+			t.Error("excluded line present")
+		}
+	}
+}
+
+func TestSourcesLatencyFilter(t *testing.T) {
+	h := newHistory(8)
+	h.push(1, 100, 0) // age 900 at ts 1000
+	h.push(2, 800, 0) // age 200
+	h.push(3, 950, 0) // age 50
+	snap := h.snapshot(^uint64(0) - 1)
+	// Need sources at least 100 cycles before missTS=1000: lines 2, 1.
+	got := snap.sources(1000, 100, 4)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("sources = %v, want [2 1]", got)
+	}
+	// maxResults caps.
+	if got := snap.sources(1000, 100, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("capped sources = %v", got)
+	}
+	// Nothing old enough.
+	if got := snap.sources(1000, 950, 4); len(got) != 0 {
+		t.Errorf("expected none, got %v", got)
+	}
+}
+
+func TestSourcesWrapAware(t *testing.T) {
+	h := newHistory(4)
+	// Timestamp just before wrap; miss just after wrap.
+	h.push(7, tsMask-50, 0)
+	snap := h.snapshot(^uint64(0) - 1)
+	got := snap.sources(10, 40, 2) // age = 10 - (tsMask-50) mod 2^20 = 61
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("wrap-aware sources = %v, want [7]", got)
+	}
+	// Entries "newer" than the miss (negative age) must be filtered.
+	h.push(8, 20, 0) // pushed after missTS=10
+	snap = h.snapshot(^uint64(0) - 1)
+	got = snap.sources(10, 1, 4)
+	for _, l := range got {
+		if l == 8 {
+			t.Error("future entry selected as source")
+		}
+	}
+}
+
+func TestMergeConsecutive(t *testing.T) {
+	h := newHistory(8)
+	h.push(100, 10, 2) // covers lines 100..102
+	posB := h.push(200, 20, 0)
+	// Block at 103 is consecutive with the first entry.
+	head, size, ok := h.merge(103, 1, 25, 8, posB)
+	if !ok {
+		t.Fatal("consecutive block did not merge")
+	}
+	if head != 100 || size != 4 {
+		t.Errorf("merged head=%d size=%d, want 100,4", head, size)
+	}
+}
+
+func TestMergeOverlapping(t *testing.T) {
+	h := newHistory(8)
+	h.push(100, 10, 3)                           // covers 100..103
+	head, size, ok := h.merge(102, 4, 30, 8, -1) // covers 102..106
+	if !ok || head != 100 || size != 6 {
+		t.Errorf("overlap merge: head=%d size=%d ok=%v", head, size, ok)
+	}
+	// Merging must not shrink: absorb a smaller contained block.
+	_, size, ok = h.merge(101, 1, 40, 8, -1)
+	if !ok || size != 6 {
+		t.Errorf("contained merge shrank: size=%d ok=%v", size, ok)
+	}
+}
+
+func TestMergeRefusesOversize(t *testing.T) {
+	h := newHistory(8)
+	h.push(100, 10, 60)
+	if _, _, ok := h.merge(161, 10, 50, 8, -1); ok {
+		t.Error("merge exceeding 63 lines accepted")
+	}
+}
+
+func TestMergeWindowLimits(t *testing.T) {
+	h := newHistory(8)
+	h.push(100, 10, 2)
+	h.push(500, 20, 0)
+	h.push(600, 30, 0)
+	// Window 2 only sees 600 and 500: no merge with 100's block.
+	if _, _, ok := h.merge(103, 1, 60, 2, -1); ok {
+		t.Error("merge found entry outside window")
+	}
+	if _, _, ok := h.merge(103, 1, 60, 3, -1); !ok {
+		t.Error("merge within window failed")
+	}
+}
+
+func TestMergeSkipsOwnEntry(t *testing.T) {
+	h := newHistory(8)
+	pos := h.push(100, 10, 2)
+	// The block's own entry must not absorb itself.
+	if _, _, ok := h.merge(100, 2, 70, 8, pos); ok {
+		t.Error("block merged into itself")
+	}
+}
+
+func TestTimestampHelpers(t *testing.T) {
+	if wrapTS(1<<20) != 0 || wrapTS(1<<20+5) != 5 {
+		t.Error("wrapTS wrong")
+	}
+	if tsDiff(5, tsMask-4) != 10 {
+		t.Errorf("tsDiff wrap = %d, want 10", tsDiff(5, tsMask-4))
+	}
+}
+
+func TestNewHistoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newHistory(0)
+}

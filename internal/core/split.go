@@ -1,0 +1,78 @@
+package core
+
+// sizeTable is the separate basic-block-size structure of the paper's
+// future-work split design (§III-C3): when basic-block sizes and
+// entangled pairs live in different structures, a source that only
+// carries a size does not occupy a 63-bit destination array, so a
+// low-budget configuration can track many more blocks.
+//
+// Entries are direct-mapped and cost tag + 6 bits each.
+type sizeTable struct {
+	entries []sizeEntry
+	tagBits int
+}
+
+type sizeEntry struct {
+	tag   uint16
+	size  uint8
+	valid bool
+}
+
+func newSizeTable(n, tagBits int) *sizeTable {
+	if n <= 0 {
+		panic("core: size table needs entries")
+	}
+	// Round up to a power of two for cheap indexing.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	if tagBits <= 0 {
+		tagBits = defaultTagBits
+	}
+	return &sizeTable{entries: make([]sizeEntry, size), tagBits: tagBits}
+}
+
+func (t *sizeTable) index(line uint64) int {
+	h := line
+	h ^= h >> 11
+	h ^= h >> 23
+	return int(h % uint64(len(t.entries)))
+}
+
+func (t *sizeTable) tagOf(line uint64) uint16 {
+	h := line / uint64(len(t.entries))
+	h ^= h >> t.tagBits
+	return uint16(h & (1<<t.tagBits - 1))
+}
+
+// record keeps the maximum size seen for the head, as the unified
+// table does.
+func (t *sizeTable) record(line uint64, size uint8) {
+	if size > 63 {
+		size = 63
+	}
+	e := &t.entries[t.index(line)]
+	tag := t.tagOf(line)
+	if e.valid && e.tag == tag {
+		if size > e.size {
+			e.size = size
+		}
+		return
+	}
+	*e = sizeEntry{tag: tag, size: size, valid: true}
+}
+
+// lookup returns the recorded size for the head.
+func (t *sizeTable) lookup(line uint64) (uint8, bool) {
+	e := &t.entries[t.index(line)]
+	if e.valid && e.tag == t.tagOf(line) {
+		return e.size, true
+	}
+	return 0, false
+}
+
+// bits returns the structure's storage cost.
+func (t *sizeTable) bits() uint64 {
+	return uint64(len(t.entries) * (t.tagBits + 6))
+}

@@ -1,0 +1,159 @@
+package core
+
+import "testing"
+
+func TestSizeTableRecordLookup(t *testing.T) {
+	st := newSizeTable(100, 10) // rounds up to 128
+	if len(st.entries) != 128 {
+		t.Fatalf("size %d, want 128", len(st.entries))
+	}
+	st.record(1000, 3)
+	if sz, ok := st.lookup(1000); !ok || sz != 3 {
+		t.Errorf("lookup = %d,%v", sz, ok)
+	}
+	// Max semantics like the unified table.
+	st.record(1000, 1)
+	if sz, _ := st.lookup(1000); sz != 3 {
+		t.Errorf("size decreased: %d", sz)
+	}
+	st.record(1000, 9)
+	if sz, _ := st.lookup(1000); sz != 9 {
+		t.Errorf("size not raised: %d", sz)
+	}
+	// Cap at 63.
+	st.record(1000, 100)
+	if sz, _ := st.lookup(1000); sz != 63 {
+		t.Errorf("size not capped: %d", sz)
+	}
+	if _, ok := st.lookup(555); ok {
+		t.Error("unknown head found")
+	}
+}
+
+func TestSizeTableConflictReplaces(t *testing.T) {
+	st := newSizeTable(2, 10)
+	var a, b uint64
+	// Find two lines mapping to the same index with different tags.
+	a = 1
+	for b = 2; b < 1_000_000; b++ {
+		if st.index(b) == st.index(a) && st.tagOf(b) != st.tagOf(a) {
+			break
+		}
+	}
+	st.record(a, 5)
+	st.record(b, 7)
+	if _, ok := st.lookup(a); ok {
+		t.Error("conflicting entry not replaced")
+	}
+	if sz, ok := st.lookup(b); !ok || sz != 7 {
+		t.Errorf("replacement lost: %d %v", sz, ok)
+	}
+}
+
+func TestSizeTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newSizeTable(0, 10)
+}
+
+func TestSplitConfigStorageCheaper(t *testing.T) {
+	unified := New(Config2K(Virtual), &mockIssuer{})
+	split := Config2K(Virtual)
+	split.SplitTable = true
+	sp := New(split, &mockIssuer{})
+	if sp.StorageBits() >= unified.StorageBits() {
+		t.Errorf("split (%d bits) should undercut unified (%d bits) at the 2K budget",
+			sp.StorageBits(), unified.StorageBits())
+	}
+	if sp.sizes == nil {
+		t.Fatal("split config did not build a size table")
+	}
+	// Twice the size-tracking reach.
+	if len(sp.sizes.entries) < 2*2048 {
+		t.Errorf("size table too small: %d", len(sp.sizes.entries))
+	}
+}
+
+func TestSplitFunctional(t *testing.T) {
+	cfg := Config4K(Virtual)
+	cfg.SplitTable = true
+	cfg.TableLatency = 0
+	is := &mockIssuer{}
+	e := New(cfg, is)
+
+	// Learn a block (100, +2 lines) and a pair (src -> 300 with block).
+	access(e, 0, 100, true)
+	access(e, 1, 101, true)
+	access(e, 2, 102, true)
+	access(e, 10, 300, true)
+	access(e, 12, 301, true)
+	access(e, 50, 200, true) // completes 300's block
+	access(e, 100, 400, false)
+	fill(e, 100, 150, 400)
+
+	// Block prefetch must come from the size table even though no
+	// entangled pairs exist for head 100.
+	is.reqs = nil
+	access(e, 1000, 100, true)
+	if !hasLine(is, 101) || !hasLine(is, 102) {
+		t.Errorf("split size table did not drive block prefetch: %v", is.lines())
+	}
+}
+
+func TestContextVariantRuns(t *testing.T) {
+	cfg := Config4K(Virtual)
+	cfg.ContextBits = 8
+	cfg.TableLatency = 0
+	is := &mockIssuer{}
+	e := New(cfg, is)
+
+	// Different contexts key the same source line differently.
+	k0 := e.srcKey(100)
+	e.OnBranch(callEvent(0x4000, 0x8000))
+	k1 := e.srcKey(100)
+	if k0 == k1 {
+		t.Error("context did not change the source key")
+	}
+	// Returning restores the outer context key.
+	e.OnBranch(retEvent(0x8010))
+	if e.srcKey(100) != k0 {
+		t.Error("return did not restore the context")
+	}
+	// Keys stay within the line-address space.
+	if k1 > lineMask(Virtual) {
+		t.Errorf("context key %#x outside line space", k1)
+	}
+}
+
+func hasLine(is *mockIssuer, line uint64) bool {
+	for _, r := range is.reqs {
+		if r.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRetireDelayPostponesPrefetches(t *testing.T) {
+	cfg := Config4K(Virtual)
+	cfg.TableLatency = 0
+	cfg.RetireDelay = 20
+	is := &mockIssuer{}
+	e := New(cfg, is)
+	access(e, 0, 100, true)
+	access(e, 1, 101, true)
+	access(e, 10, 200, true) // completes block 100 (size 1)
+	is.reqs = nil
+	access(e, 100, 100, true)
+	if len(is.reqs) == 0 {
+		t.Fatal("no prefetch issued")
+	}
+	for _, r := range is.reqs {
+		if r.notBefore != 120 {
+			t.Errorf("notBefore = %d, want 120 (access 100 + retire delay 20)", r.notBefore)
+		}
+	}
+}

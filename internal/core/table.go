@@ -1,0 +1,287 @@
+package core
+
+// entangledTable is the paper's Entangled table (§III-A, Figure 4): a
+// set-associative structure whose entries pair a source line (10-bit
+// tag) with its maximum basic-block size and a mode-compressed array of
+// destination lines, each with a 2-bit confidence counter.
+//
+// Replacement is the paper's enhanced FIFO (§III-C3): the per-set FIFO
+// victim's payload can be relocated into a way that holds no entangled
+// pairs, so sources with destinations survive longer than bare
+// basic-block-size entries.
+type entangledTable struct {
+	space   AddressSpace
+	sets    int
+	ways    int
+	tagBits int
+
+	entries []tableEntry
+	fifoPtr []int
+
+	// Stats feeding Figures 12-15.
+	insertsBySig map[int]uint64 // needed-bit bucket -> count
+	dstEvicted   uint64
+	relocations  uint64
+	extraLookups uint64
+	aliasHits    uint64
+}
+
+type tableEntry struct {
+	tag uint16 // 10-bit tag
+	// debugLine is the full source line address, used only for alias
+	// diagnostics (hardware stores just the folded tag).
+	debugLine uint64
+	valid     bool
+	bbSize    uint8 // 6-bit max basic-block size
+	mode      uint8 // current compression mode (1-based); 0 = none yet
+	// dsts holds the destinations semantically (full line addresses
+	// plus the bit budget each needs); the mode bounds len(dsts) and
+	// every needed-bit count, exactly as the packed hardware encoding
+	// would.
+	dsts []dstSlot
+}
+
+type dstSlot struct {
+	line uint64 // full destination line address
+	need uint8  // significant bits required relative to its source
+	conf uint8  // 2-bit confidence
+}
+
+// defaultTagBits is the stored tag width (§III-C3: "tags are encoded
+// using 10 bits"); aliasing across the folded bits is part of the cost
+// model.
+const defaultTagBits = 10
+
+func newTable(space AddressSpace, sets, ways, tagBits int) *entangledTable {
+	if sets <= 0 || ways <= 0 {
+		panic("core: table needs positive sets and ways")
+	}
+	if tagBits <= 0 {
+		tagBits = defaultTagBits
+	}
+	return &entangledTable{
+		space:        space,
+		sets:         sets,
+		ways:         ways,
+		tagBits:      tagBits,
+		entries:      make([]tableEntry, sets*ways),
+		fifoPtr:      make([]int, sets),
+		insertsBySig: make(map[int]uint64),
+	}
+}
+
+// index hashes a line address to its set with a simple XOR fold
+// (§III-C2: "indexed with a simple XOR operation of the different bits
+// of the address").
+func (t *entangledTable) index(line uint64) int {
+	h := line
+	h ^= h >> 9
+	h ^= h >> 18
+	h ^= h >> 36
+	return int(h % uint64(t.sets))
+}
+
+// tag folds the bits above the set index into the stored tag width.
+func (t *entangledTable) tag(line uint64) uint16 {
+	h := line / uint64(t.sets)
+	h ^= h >> t.tagBits
+	h ^= h >> (2 * t.tagBits)
+	return uint16(h & (1<<t.tagBits - 1))
+}
+
+// set returns the ways of the set holding line.
+func (t *entangledTable) set(line uint64) []tableEntry {
+	s := t.index(line)
+	return t.entries[s*t.ways : (s+1)*t.ways]
+}
+
+// lookup returns the entry matching line, or nil.
+func (t *entangledTable) lookup(line uint64) *tableEntry {
+	set := t.set(line)
+	tag := t.tag(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// lookupPos returns the entry matching line along with its set and
+// way, or (nil, -1, -1).
+func (t *entangledTable) lookupPos(line uint64) (*tableEntry, int, int) {
+	s := t.index(line)
+	set := t.entries[s*t.ways : (s+1)*t.ways]
+	tag := t.tag(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i], s, i
+		}
+	}
+	return nil, -1, -1
+}
+
+// entryAt returns the entry at (set, way), or nil when out of range.
+func (t *entangledTable) entryAt(set, way int) *tableEntry {
+	if set < 0 || set >= t.sets || way < 0 || way >= t.ways {
+		return nil
+	}
+	return &t.entries[set*t.ways+way]
+}
+
+// recordBlock records (or refreshes) a source's basic-block size,
+// keeping the maximum seen (§III-A1, a coverage-vs-false-positive
+// trade the paper makes explicit). It allocates the entry if needed.
+func (t *entangledTable) recordBlock(line uint64, size uint8) *tableEntry {
+	if size > 63 {
+		size = 63
+	}
+	e := t.lookup(line)
+	if e == nil {
+		e = t.allocate(line)
+	}
+	if size > e.bbSize {
+		e.bbSize = size
+	}
+	return e
+}
+
+// hasFreeDst reports whether the entry could accept (src->dst) without
+// evicting an existing destination: the combined mode must still have
+// capacity.
+func (t *entangledTable) hasFreeDst(e *tableEntry, src, dst uint64) bool {
+	need := neededBits(t.space, src, dst)
+	maxNeed := need
+	for i := range e.dsts {
+		if int(e.dsts[i].need) > maxNeed {
+			maxNeed = int(e.dsts[i].need)
+		}
+	}
+	return len(e.dsts) < modeFor(t.space, maxNeed)
+}
+
+// addDst inserts dst into src's entry with maximum confidence,
+// allocating the entry if needed, recomputing the mode, and evicting
+// the lowest-confidence destination when the mode's capacity is
+// exceeded (§III-B1, §III-B3).
+func (t *entangledTable) addDst(src, dst uint64) *tableEntry {
+	e := t.lookup(src)
+	if e == nil {
+		e = t.allocate(src)
+	}
+	need := neededBits(t.space, src, dst)
+
+	// Already present: refresh confidence and (possibly) the needed
+	// bits, then recompute the mode.
+	for i := range e.dsts {
+		if e.dsts[i].line == dst {
+			e.dsts[i].conf = maxConf
+			e.dsts[i].need = uint8(need)
+			t.recomputeMode(e)
+			return e
+		}
+	}
+
+	t.insertsBySig[sigBucket(t.space, need)]++
+
+	maxNeed := need
+	for i := range e.dsts {
+		if int(e.dsts[i].need) > maxNeed {
+			maxNeed = int(e.dsts[i].need)
+		}
+	}
+	capacity := modeFor(t.space, maxNeed)
+	for len(e.dsts) >= capacity {
+		// Evict the lowest-confidence destination.
+		victim := 0
+		for i := range e.dsts {
+			if e.dsts[i].conf < e.dsts[victim].conf {
+				victim = i
+			}
+		}
+		e.dsts = append(e.dsts[:victim], e.dsts[victim+1:]...)
+		t.dstEvicted++
+		// Mode may relax after the eviction (§III-B3).
+		maxNeed = need
+		for i := range e.dsts {
+			if int(e.dsts[i].need) > maxNeed {
+				maxNeed = int(e.dsts[i].need)
+			}
+		}
+		capacity = modeFor(t.space, maxNeed)
+	}
+	e.dsts = append(e.dsts, dstSlot{line: dst, need: uint8(need), conf: maxConf})
+	t.recomputeMode(e)
+	return e
+}
+
+// recomputeMode sets the entry's mode from its current destinations
+// (§III-B3: recomputed on eviction to avoid a stale restrictive mode).
+func (t *entangledTable) recomputeMode(e *tableEntry) {
+	if len(e.dsts) == 0 {
+		e.mode = 0
+		return
+	}
+	maxNeed := 1
+	for i := range e.dsts {
+		if int(e.dsts[i].need) > maxNeed {
+			maxNeed = int(e.dsts[i].need)
+		}
+	}
+	e.mode = uint8(modeFor(t.space, maxNeed))
+}
+
+// dropDst removes a destination by line address (confidence reached 0).
+func (t *entangledTable) dropDst(e *tableEntry, dst uint64) {
+	for i := range e.dsts {
+		if e.dsts[i].line == dst {
+			e.dsts = append(e.dsts[:i], e.dsts[i+1:]...)
+			t.recomputeMode(e)
+			return
+		}
+	}
+}
+
+// allocate claims a way for line using enhanced FIFO replacement.
+func (t *entangledTable) allocate(line uint64) *tableEntry {
+	s := t.index(line)
+	set := t.entries[s*t.ways : (s+1)*t.ways]
+
+	// Free way first.
+	for i := range set {
+		if !set[i].valid {
+			set[i] = tableEntry{tag: t.tag(line), debugLine: line, valid: true}
+			return &set[i]
+		}
+	}
+
+	victim := t.fifoPtr[s]
+	t.fifoPtr[s] = (t.fifoPtr[s] + 1) % t.ways
+
+	// Enhanced FIFO: if the victim holds entangled pairs, relocate its
+	// payload into a way that holds none (evicting that one instead).
+	if len(set[victim].dsts) > 0 {
+		for i := range set {
+			if i != victim && len(set[i].dsts) == 0 {
+				set[i] = set[victim]
+				t.relocations++
+				break
+			}
+		}
+	}
+	set[victim] = tableEntry{tag: t.tag(line), debugLine: line, valid: true}
+	return &set[victim]
+}
+
+// sigBucket maps a needed-bit count to its storage-format bucket (the
+// x-axis of Figure 12): the smallest mode budget that covers it.
+func sigBucket(space AddressSpace, need int) int {
+	g := geometries[space]
+	best := g.sigBits[0]
+	for _, sb := range g.sigBits {
+		if sb >= need && sb < best {
+			best = sb
+		}
+	}
+	return best
+}

@@ -1,0 +1,437 @@
+// Package cpu is the trace-driven processor model: the substrate the
+// paper evaluates every prefetcher on (§IV-A). It models:
+//
+//   - A decoupled front-end: a branch-prediction engine forms fetch
+//     blocks (maximal runs of instructions on one cache line along the
+//     correct path) into an FTQ, and the L1I lookup for a block is
+//     issued when the block enters the FTQ — fetch-directed
+//     prefetching, whose lookups are demand accesses, exactly as the
+//     paper's baseline states.
+//   - A seven-stage pipeline with different branch-misprediction
+//     penalties depending on the stage that detects the redirect (BTB
+//     miss at decode, direction/target misprediction at execute).
+//   - An out-of-order backend as an interval model: a ROB-occupancy
+//     ring provides dispatch backpressure, loads stall retirement with
+//     real L1D/L2/LLC/DRAM latencies, and retire bandwidth is bounded.
+//
+// IPC, miss ratios and all prefetcher metrics come out of one pass over
+// the instruction stream; every run is deterministic.
+package cpu
+
+import (
+	"entangling/internal/bpred"
+	"entangling/internal/cache"
+	"entangling/internal/prefetch"
+	"entangling/internal/trace"
+)
+
+// Config assembles the machine. DefaultConfig models the paper's
+// Sunny-Cove-like baseline (Table III).
+type Config struct {
+	// FetchWidth is instructions fetched per cycle from a ready block.
+	FetchWidth int
+	// RetireWidth is instructions retired per cycle.
+	RetireWidth int
+	// ROBSize bounds in-flight instructions.
+	ROBSize int
+	// FrontDepth is the fetch-to-dispatch depth in cycles.
+	FrontDepth uint64
+	// FTQDepth is how many fetch blocks the prediction engine may run
+	// ahead of fetch (the decoupled front-end's natural prefetch reach).
+	FTQDepth int
+	// BTBMissPenalty is the redirect penalty for taken branches whose
+	// target was not in the BTB (detected at decode).
+	BTBMissPenalty uint64
+	// MispredictPenalty is the redirect penalty for direction/target
+	// mispredictions (detected at execute).
+	MispredictPenalty uint64
+
+	L1I  cache.ICacheConfig
+	L1D  cache.TimingConfig
+	L2   cache.TimingConfig
+	LLC  cache.TimingConfig
+	DRAM cache.DRAMConfig
+	Pred bpred.Config
+
+	// Prefetcher constructs the L1I prefetcher; nil means none.
+	Prefetcher prefetch.Factory
+
+	// PhysicalAddresses trains the whole hierarchy (and therefore the
+	// prefetcher) on physical line addresses through a 4KB-page
+	// translator, as in §IV-E.
+	PhysicalAddresses bool
+	// TranslatorSalt decorrelates page mappings between workloads.
+	TranslatorSalt uint64
+
+	// ExtraL1IListener, when set, also receives every L1I event (used
+	// by the oracle look-ahead study of Figures 1-2).
+	ExtraL1IListener cache.Listener
+	// BranchHook, when set, receives every branch event in addition to
+	// the prefetcher.
+	BranchHook func(prefetch.BranchEvent)
+}
+
+// DefaultConfig returns the baseline machine of Table III.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        6,
+		RetireWidth:       6,
+		ROBSize:           352,
+		FrontDepth:        5,
+		FTQDepth:          24,
+		BTBMissPenalty:    3,
+		MispredictPenalty: 2,
+		L1I: cache.ICacheConfig{
+			Sets: 64, Ways: 8, Latency: 4, MSHRs: 10, PQSize: 32, PQIssuePerCycle: 2,
+		},
+		L1D: cache.TimingConfig{Name: "L1D", Sets: 64, Ways: 12, Latency: 5, ServiceInterval: 0},
+		L2:  cache.TimingConfig{Name: "L2", Sets: 1024, Ways: 8, Latency: 14, ServiceInterval: 1},
+		LLC: cache.TimingConfig{Name: "LLC", Sets: 2048, Ways: 16, Latency: 34, ServiceInterval: 2},
+		DRAM: cache.DRAMConfig{
+			Latency: 200, ServiceInterval: 8, JitterMask: 0x3F,
+		},
+	}
+}
+
+// Results summarizes one run.
+type Results struct {
+	// PrefetcherName is the active configuration ("no" when none).
+	PrefetcherName string
+	// StorageBits is the prefetcher's hardware budget.
+	StorageBits uint64
+
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	L1I       cache.Stats
+	L1D       cache.Stats
+	L2        cache.Stats
+	LLC       cache.Stats
+	DRAMReads uint64
+
+	CondAccuracy float64
+	BTBMisses    uint64
+	Redirects    uint64
+
+	// FetchBlocks is the number of fetch blocks formed (L1I demand
+	// accesses issued by the front-end).
+	FetchBlocks uint64
+}
+
+// L1IMPKI returns L1I demand misses per kilo-instruction.
+func (r *Results) L1IMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.L1I.Misses) / float64(r.Instructions) * 1000
+}
+
+// L1IHitRate returns the L1I demand hit rate.
+func (r *Results) L1IHitRate() float64 {
+	if r.L1I.Accesses == 0 {
+		return 0
+	}
+	return float64(r.L1I.Hits) / float64(r.L1I.Accesses)
+}
+
+// Machine is an assembled simulator instance. Build one per run.
+type Machine struct {
+	cfg Config
+
+	icache *cache.ICache
+	l1d    *cache.TimingCache
+	l2     *cache.TimingCache
+	llc    *cache.TimingCache
+	dram   *cache.DRAM
+	pred   *bpred.Predictor
+	pf     prefetch.Prefetcher
+	trans  cache.Translator
+
+	// Front-end cycle trackers.
+	nextPredict uint64
+	nextFetch   uint64
+	redirect    uint64
+	ftqRing     []uint64 // fetchStart of block i stored at i%FTQDepth
+	blockIdx    uint64
+
+	// Backend rings.
+	robRing    []uint64 // retire cycle of instruction i at i%ROBSize
+	widthRing  []uint64 // retire cycles of the last RetireWidth instrs
+	lastRetire uint64
+
+	instrIdx uint64
+
+	// Block-formation state (persists across run windows).
+	haveBlock   bool
+	curVirtLine uint64
+	fetchStart  uint64
+	blockCount  int
+	forceBlock  bool
+	blocks      uint64
+	redirects   uint64
+}
+
+// teeListener fans L1I events out to the prefetcher and an extra
+// observer.
+type teeListener struct {
+	a, b cache.Listener
+}
+
+func (t teeListener) OnAccess(e cache.AccessEvent) { t.a.OnAccess(e); t.b.OnAccess(e) }
+func (t teeListener) OnFill(e cache.FillEvent)     { t.a.OnFill(e); t.b.OnFill(e) }
+func (t teeListener) OnEvict(e cache.EvictEvent)   { t.a.OnEvict(e); t.b.OnEvict(e) }
+
+// listenerAdapter exposes a Prefetcher as a cache.Listener.
+type listenerAdapter struct{ p prefetch.Prefetcher }
+
+func (l listenerAdapter) OnAccess(e cache.AccessEvent) { l.p.OnAccess(e) }
+func (l listenerAdapter) OnFill(e cache.FillEvent)     { l.p.OnFill(e) }
+func (l listenerAdapter) OnEvict(e cache.EvictEvent)   { l.p.OnEvict(e) }
+
+// New assembles a machine from cfg.
+func New(cfg Config) *Machine {
+	m := &Machine{cfg: cfg}
+	m.dram = cache.NewDRAM(cfg.DRAM)
+	m.llc = cache.NewTimingCache(cfg.LLC, m.dram)
+	m.l2 = cache.NewTimingCache(cfg.L2, m.llc)
+	m.l1d = cache.NewTimingCache(cfg.L1D, m.l2)
+	m.icache = cache.NewICache(cfg.L1I, m.l2, nil)
+	m.pred = bpred.New(cfg.Pred)
+	m.trans = cache.Translator{Salt: cfg.TranslatorSalt}
+
+	if cfg.Prefetcher != nil {
+		m.pf = cfg.Prefetcher(m.icache)
+	} else {
+		m.pf = prefetch.NewNone(m.icache)
+	}
+	var listener cache.Listener = listenerAdapter{m.pf}
+	if cfg.ExtraL1IListener != nil {
+		listener = teeListener{a: listener, b: cfg.ExtraL1IListener}
+	}
+	m.icache.SetListener(listener)
+
+	if cfg.FTQDepth < 1 {
+		m.cfg.FTQDepth = 1
+	}
+	m.ftqRing = make([]uint64, m.cfg.FTQDepth)
+	m.robRing = make([]uint64, cfg.ROBSize)
+	m.widthRing = make([]uint64, cfg.RetireWidth)
+	return m
+}
+
+// Prefetcher exposes the active prefetcher (for per-prefetcher stats
+// such as Entangling's compression histograms).
+func (m *Machine) Prefetcher() prefetch.Prefetcher { return m.pf }
+
+// fetchLine maps an instruction byte address to the line address the
+// hierarchy operates on.
+func (m *Machine) fetchLine(pc uint64) uint64 {
+	l := cache.LineAddr(pc)
+	if m.cfg.PhysicalAddresses {
+		return m.trans.Translate(l)
+	}
+	return l
+}
+
+// snapshot captures the counters needed to compute windowed results.
+type snapshot struct {
+	l1i, l1d, l2, llc cache.Stats
+	dramReads         uint64
+	condLookups       uint64
+	dirMispredicts    uint64
+	btbMisses         uint64
+	redirects         uint64
+	blocks            uint64
+	instrs            uint64
+	cycle             uint64
+}
+
+func (m *Machine) snap() snapshot {
+	return snapshot{
+		l1i:            *m.icache.Stats(),
+		l1d:            *m.l1d.Stats(),
+		l2:             *m.l2.Stats(),
+		llc:            *m.llc.Stats(),
+		dramReads:      m.dram.Reads,
+		condLookups:    m.pred.CondLookups,
+		dirMispredicts: m.pred.DirMispredicts,
+		btbMisses:      m.pred.BTBMisses,
+		redirects:      m.redirects,
+		blocks:         m.blocks,
+		instrs:         m.instrIdx,
+		cycle:          m.lastRetire,
+	}
+}
+
+// Run consumes up to maxInstrs instructions from src and returns the
+// run's results. A Machine must not be reused across runs.
+func (m *Machine) Run(src trace.Source, maxInstrs uint64) Results {
+	m.consume(src, maxInstrs)
+	return m.resultsSince(snapshot{})
+}
+
+// RunWindows runs a warmup window whose statistics are discarded (the
+// paper uses a 20M-instruction warm-up, §IV-A), then a measurement
+// window, and returns results for the measurement window only.
+func (m *Machine) RunWindows(src trace.Source, warmup, measure uint64) Results {
+	m.consume(src, warmup)
+	s := m.snap()
+	m.consume(src, warmup+measure)
+	return m.resultsSince(s)
+}
+
+// consume advances the pipeline until instrIdx reaches maxInstrs or the
+// source ends.
+func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
+	var in trace.Instruction
+	haveBlock := m.haveBlock
+	curVirtLine := m.curVirtLine
+	fetchStart := m.fetchStart
+	blockCount := m.blockCount
+	forceBlock := m.forceBlock
+
+	for m.instrIdx < maxInstrs && src.Next(&in) {
+		virtLine := cache.LineAddr(in.PC)
+
+		if !haveBlock || forceBlock || virtLine != curVirtLine {
+			// A new fetch block enters the FTQ.
+			predictCycle := m.nextPredict
+			if m.redirect > predictCycle {
+				predictCycle = m.redirect
+			}
+			// FTQ backpressure: the prediction engine may run at most
+			// FTQDepth blocks ahead of fetch.
+			if backCap := m.ftqRing[m.blockIdx%uint64(m.cfg.FTQDepth)]; backCap > predictCycle {
+				predictCycle = backCap
+			}
+			m.nextPredict = predictCycle + 1
+
+			// Fetch-directed lookup: the L1I access happens now, at FTQ
+			// insertion, possibly long before fetch consumes the block.
+			lineReady := m.icache.DemandAccess(predictCycle, m.fetchLine(in.PC))
+			m.blocks++
+
+			fetchStart = m.nextFetch
+			if lineReady > fetchStart {
+				fetchStart = lineReady
+			}
+			m.ftqRing[m.blockIdx%uint64(m.cfg.FTQDepth)] = fetchStart
+			m.blockIdx++
+			blockCount = 0
+			haveBlock = true
+			curVirtLine = virtLine
+			forceBlock = false
+		}
+
+		fetchCycle := fetchStart + uint64(blockCount/m.cfg.FetchWidth)
+		blockCount++
+		m.nextFetch = fetchCycle + 1 // next block starts no earlier
+
+		// Dispatch: front-end depth plus ROB backpressure.
+		dispatch := fetchCycle + m.cfg.FrontDepth
+		if prev := m.robRing[m.instrIdx%uint64(m.cfg.ROBSize)]; prev > dispatch {
+			dispatch = prev
+		}
+
+		// Execute.
+		execDone := dispatch + 1
+		if in.IsLoad {
+			addr := cache.LineAddr(in.DataAddr)
+			if m.cfg.PhysicalAddresses {
+				addr = m.trans.Translate(addr)
+			}
+			if ready := m.l1d.Access(dispatch, addr, false); ready > execDone {
+				execDone = ready
+			}
+		} else if in.IsStore {
+			addr := cache.LineAddr(in.DataAddr)
+			if m.cfg.PhysicalAddresses {
+				addr = m.trans.Translate(addr)
+			}
+			// Write-allocate; the store buffer hides the latency.
+			m.l1d.Access(dispatch, addr, false)
+		}
+
+		// Branch handling.
+		if in.Branch.IsBranch() {
+			out := m.pred.Process(&in)
+			ev := prefetch.BranchEvent{
+				Cycle:  fetchStart,
+				PC:     in.PC,
+				Type:   in.Branch,
+				Taken:  in.Taken,
+				Target: in.Target,
+			}
+			m.pf.OnBranch(ev)
+			if m.cfg.BranchHook != nil {
+				m.cfg.BranchHook(ev)
+			}
+			if out.Redirect() {
+				m.redirects++
+				var r uint64
+				if out.DirMispredict || out.TargetMispredict {
+					r = execDone + m.cfg.MispredictPenalty
+				} else { // BTB miss: caught at decode
+					r = fetchCycle + m.cfg.BTBMissPenalty
+				}
+				if r > m.redirect {
+					m.redirect = r
+				}
+				forceBlock = true
+			}
+			if in.Taken {
+				forceBlock = true
+			}
+		}
+
+		// Retire: in order, bounded width.
+		retire := execDone
+		if retire < m.lastRetire {
+			retire = m.lastRetire
+		}
+		if w := m.widthRing[m.instrIdx%uint64(m.cfg.RetireWidth)] + 1; w > retire {
+			retire = w
+		}
+		m.widthRing[m.instrIdx%uint64(m.cfg.RetireWidth)] = retire
+		m.robRing[m.instrIdx%uint64(m.cfg.ROBSize)] = retire
+		m.lastRetire = retire
+		m.instrIdx++
+	}
+
+	m.haveBlock = haveBlock
+	m.curVirtLine = curVirtLine
+	m.fetchStart = fetchStart
+	m.blockCount = blockCount
+	m.forceBlock = forceBlock
+}
+
+// resultsSince builds Results for the window after snapshot s.
+func (m *Machine) resultsSince(s snapshot) Results {
+	// Let outstanding prefetches/fills settle for final stats.
+	m.icache.AdvanceTo(m.lastRetire + 1000)
+
+	res := Results{
+		PrefetcherName: m.pf.Name(),
+		StorageBits:    m.pf.StorageBits(),
+		Instructions:   m.instrIdx - s.instrs,
+		Cycles:         m.lastRetire - s.cycle,
+		L1I:            m.icache.Stats().Sub(s.l1i),
+		L1D:            m.l1d.Stats().Sub(s.l1d),
+		L2:             m.l2.Stats().Sub(s.l2),
+		LLC:            m.llc.Stats().Sub(s.llc),
+		DRAMReads:      m.dram.Reads - s.dramReads,
+		BTBMisses:      m.pred.BTBMisses - s.btbMisses,
+		Redirects:      m.redirects - s.redirects,
+		FetchBlocks:    m.blocks - s.blocks,
+	}
+	if lookups := m.pred.CondLookups - s.condLookups; lookups > 0 {
+		res.CondAccuracy = 1 - float64(m.pred.DirMispredicts-s.dirMispredicts)/float64(lookups)
+	} else {
+		res.CondAccuracy = 1
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	return res
+}

@@ -1,0 +1,241 @@
+package cpu
+
+// Integration tests asserting the qualitative results the paper's
+// evaluation hinges on: the relative ordering of prefetchers, the
+// scaling across Entangling budgets, and the ablation ordering of
+// Figure 11. These run one srv workload at windows long enough for the
+// orderings to be stable; the benchmark suite exercises the full
+// suites.
+
+import (
+	"testing"
+
+	"entangling/internal/core"
+	"entangling/internal/prefetch"
+	"entangling/internal/workload"
+)
+
+var srvCache map[string]Results
+
+func srvResults(t *testing.T) map[string]Results {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration suite needs long windows")
+	}
+	if srvCache != nil {
+		return srvCache
+	}
+	p := workload.Preset(workload.Srv)
+	p.Seed = 1
+	p.Name = "srv-it"
+	prog, err := workload.BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warm, meas = 3_000_000, 1_500_000
+	names := []string{
+		"no", "nextline", "sn4l", "mana-2k", "mana-4k", "mana-8k",
+		"rdip", "djolt", "fnl+mma",
+		"entangling-2k", "entangling-4k", "entangling-8k", "epi",
+		"entangling-4k-BB", "entangling-4k-BBEnt", "entangling-4k-BBEntBB", "entangling-4k-Ent",
+		"ideal",
+	}
+	srvCache = make(map[string]Results, len(names))
+	for _, name := range names {
+		cfg := DefaultConfig()
+		switch name {
+		case "no":
+		case "ideal":
+			cfg.L1I.Ideal = true
+		default:
+			nm := name
+			cfg.Prefetcher = func(is prefetch.Issuer) prefetch.Prefetcher {
+				pf, err := prefetch.New(nm, is)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return pf
+			}
+		}
+		m := New(cfg)
+		srvCache[name] = m.RunWindows(workload.NewWalker(prog), warm, meas)
+	}
+	return srvCache
+}
+
+func speedup(rs map[string]Results, name string) float64 {
+	return rs[name].IPC / rs["no"].IPC
+}
+
+func TestIdealBoundsEverything(t *testing.T) {
+	rs := srvResults(t)
+	for name, r := range rs {
+		if name == "ideal" {
+			continue
+		}
+		if r.IPC > rs["ideal"].IPC {
+			t.Errorf("%s IPC %.3f exceeds ideal %.3f", name, r.IPC, rs["ideal"].IPC)
+		}
+	}
+}
+
+func TestEveryPrefetcherBeatsBaseline(t *testing.T) {
+	// §IV-C2: "the Entangling prefetcher never gets performance
+	// degradation with respect to not using any prefetcher"; on the
+	// high-MPKI srv workload every evaluated prefetcher should help.
+	rs := srvResults(t)
+	for _, name := range []string{"nextline", "sn4l", "mana-2k", "mana-4k",
+		"rdip", "djolt", "fnl+mma", "entangling-2k", "entangling-4k", "entangling-8k", "epi"} {
+		if sp := speedup(rs, name); sp < 1.0 {
+			t.Errorf("%s slows the machine down: %.3f", name, sp)
+		}
+	}
+}
+
+func TestEntanglingBeatsDistanceBasedPrefetchers(t *testing.T) {
+	// The paper's headline ordering: timeliness-driven entangling
+	// outperforms next-line, the BTB-directed MANA at every budget, and
+	// RDIP (§IV-C, §V).
+	rs := srvResults(t)
+	e4 := speedup(rs, "entangling-4k")
+	for _, rival := range []string{"nextline", "sn4l", "mana-2k", "mana-4k", "mana-8k", "rdip", "fnl+mma"} {
+		if e4 <= speedup(rs, rival) {
+			t.Errorf("entangling-4k (%.3f) does not beat %s (%.3f)", e4, rival, speedup(rs, rival))
+		}
+	}
+	// The paper's cost-effectiveness claim: the low-budget Entangling
+	// outperforms the high-budget MANA.
+	if speedup(rs, "entangling-2k") <= speedup(rs, "mana-8k") {
+		t.Errorf("entangling-2k (%.3f) does not beat mana-8k (%.3f)",
+			speedup(rs, "entangling-2k"), speedup(rs, "mana-8k"))
+	}
+}
+
+func TestEntanglingBudgetScaling(t *testing.T) {
+	rs := srvResults(t)
+	e2, e4, e8 := speedup(rs, "entangling-2k"), speedup(rs, "entangling-4k"), speedup(rs, "entangling-8k")
+	epi := speedup(rs, "epi")
+	if e2 > e4*1.01 {
+		t.Errorf("2K (%.3f) should not beat 4K (%.3f)", e2, e4)
+	}
+	if e4 > e8*1.01 {
+		t.Errorf("4K (%.3f) should not beat 8K (%.3f)", e4, e8)
+	}
+	if e8 > epi*1.02 {
+		t.Errorf("8K (%.3f) should not beat the unconstrained EPI (%.3f)", e8, epi)
+	}
+}
+
+func TestEntanglingMissRatioLowest(t *testing.T) {
+	// Figure 8: "The Entangling prefetcher significantly outperforms
+	// its competitors across all benchmarks, reducing drastically the
+	// miss rate."
+	rs := srvResults(t)
+	ratio := func(name string) float64 {
+		st := rs[name].L1I
+		return st.MissRatio()
+	}
+	e4 := ratio("entangling-4k")
+	for _, rival := range []string{"nextline", "sn4l", "mana-4k", "rdip", "djolt", "fnl+mma"} {
+		if e4 >= ratio(rival) {
+			t.Errorf("entangling-4k miss ratio %.3f not below %s (%.3f)",
+				e4, rival, ratio(rival))
+		}
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	// Figure 11: BB alone and raw-line Ent trail; adding entangled
+	// destinations (BBEnt) helps; prefetching destination blocks
+	// (BBEntBB) helps more; merging (the full design) does not hurt.
+	rs := srvResults(t)
+	bb := speedup(rs, "entangling-4k-BB")
+	ent := speedup(rs, "entangling-4k-Ent")
+	bbent := speedup(rs, "entangling-4k-BBEnt")
+	bbentbb := speedup(rs, "entangling-4k-BBEntBB")
+	full := speedup(rs, "entangling-4k")
+
+	if bbent <= bb {
+		t.Errorf("BBEnt (%.3f) should beat BB (%.3f)", bbent, bb)
+	}
+	if bbentbb <= bbent {
+		t.Errorf("BBEntBB (%.3f) should beat BBEnt (%.3f)", bbentbb, bbent)
+	}
+	if ent >= bbentbb {
+		t.Errorf("raw-line Ent (%.3f) should trail BBEntBB (%.3f)", ent, bbentbb)
+	}
+	if full < bbentbb*0.98 {
+		t.Errorf("merging (%.3f) should not hurt BBEntBB (%.3f)", full, bbentbb)
+	}
+}
+
+func TestEntanglingCoverageHigh(t *testing.T) {
+	rs := srvResults(t)
+	base := rs["no"].L1I.Misses
+	cov := 1 - float64(rs["entangling-4k"].L1I.Misses)/float64(base)
+	if cov < 0.5 {
+		t.Errorf("entangling-4k srv coverage %.3f below 0.5", cov)
+	}
+	nl := 1 - float64(rs["nextline"].L1I.Misses)/float64(base)
+	if cov <= nl {
+		t.Errorf("entangling coverage %.3f not above nextline %.3f", cov, nl)
+	}
+}
+
+func TestDeterministicAcrossEquivalentMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	p := workload.Preset(workload.Int)
+	p.Seed = 9
+	prog, _ := workload.BuildProgram(p)
+	mk := func() Results {
+		cfg := DefaultConfig()
+		cfg.Prefetcher = func(is prefetch.Issuer) prefetch.Prefetcher {
+			return core.New(core.Config4K(core.Virtual), is)
+		}
+		return New(cfg).RunWindows(workload.NewWalker(prog), 400_000, 300_000)
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("entangling run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPhysicalTrainingCostsCoverage(t *testing.T) {
+	// §IV-E: physical training loses some coverage because virtual page
+	// contiguity breaks; it must still clearly beat the baseline.
+	if testing.Short() {
+		t.Skip("long")
+	}
+	p := workload.Preset(workload.Srv)
+	p.Seed = 2
+	prog, _ := workload.BuildProgram(p)
+	run := func(phys bool, pf string) Results {
+		cfg := DefaultConfig()
+		cfg.PhysicalAddresses = phys
+		cfg.TranslatorSalt = 7
+		if pf != "" {
+			cfg.Prefetcher = func(is prefetch.Issuer) prefetch.Prefetcher {
+				r, err := prefetch.New(pf, is)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+		}
+		return New(cfg).RunWindows(workload.NewWalker(prog), 2_000_000, 1_000_000)
+	}
+	basePhys := run(true, "")
+	entPhys := run(true, "entangling-4k-phys")
+	if entPhys.IPC <= basePhys.IPC {
+		t.Errorf("physical entangling (%.3f) not above physical baseline (%.3f)",
+			entPhys.IPC, basePhys.IPC)
+	}
+	baseVirt := run(false, "")
+	entVirt := run(false, "entangling-4k")
+	virtGain := entVirt.IPC / baseVirt.IPC
+	physGain := entPhys.IPC / basePhys.IPC
+	if physGain > virtGain*1.05 {
+		t.Errorf("physical training (%.3f) should not beat virtual (%.3f)", physGain, virtGain)
+	}
+}

@@ -1,0 +1,227 @@
+// Package harness drives the paper's evaluation: it assembles
+// machines for the configurations of §IV-B, runs them over the
+// synthetic workload suites, aggregates the metrics, and renders every
+// table and figure of §IV. Both cmd/paperfigs and the repository's
+// benchmark suite are thin wrappers around this package.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"entangling/internal/cache"
+	"entangling/internal/core"
+	"entangling/internal/cpu"
+	"entangling/internal/prefetch"
+	"entangling/internal/trace"
+	"entangling/internal/workload"
+)
+
+// Configuration names one evaluated machine setup (§IV-B).
+type Configuration struct {
+	// Name labels the configuration in figures.
+	Name string
+	// Prefetcher is the registry name of the L1I prefetcher ("" or
+	// "no" for none).
+	Prefetcher string
+	// IdealL1I makes the L1I always hit (the paper's Ideal).
+	IdealL1I bool
+	// L1IWays overrides the L1I associativity (the paper's L1I-64KB
+	// and L1I-96KB configurations use 16 and 24 ways).
+	L1IWays int
+	// Physical trains the hierarchy and prefetcher on physical
+	// addresses (§IV-E).
+	Physical bool
+}
+
+// Baseline is the no-prefetcher configuration every normalization uses.
+var Baseline = Configuration{Name: "no"}
+
+// StandardConfigurations returns the §IV-B lineup of Figure 6.
+func StandardConfigurations() []Configuration {
+	return []Configuration{
+		Baseline,
+		{Name: "nextline", Prefetcher: "nextline"},
+		{Name: "sn4l", Prefetcher: "sn4l"},
+		{Name: "mana-2k", Prefetcher: "mana-2k"},
+		{Name: "mana-4k", Prefetcher: "mana-4k"},
+		{Name: "mana-8k", Prefetcher: "mana-8k"},
+		{Name: "rdip", Prefetcher: "rdip"},
+		{Name: "djolt", Prefetcher: "djolt"},
+		{Name: "fnl+mma", Prefetcher: "fnl+mma"},
+		{Name: "epi", Prefetcher: "epi"},
+		{Name: "entangling-2k", Prefetcher: "entangling-2k"},
+		{Name: "entangling-4k", Prefetcher: "entangling-4k"},
+		{Name: "entangling-8k", Prefetcher: "entangling-8k"},
+		{Name: "l1i-64kb", L1IWays: 16},
+		{Name: "l1i-96kb", L1IWays: 24},
+		{Name: "ideal", IdealL1I: true},
+	}
+}
+
+// CompactConfigurations returns the sub-64KB subset most per-workload
+// figures focus on (§IV-C: "focus on the prefetching techniques that
+// require less than 64KB of storage"), plus baseline and ideal.
+func CompactConfigurations() []Configuration {
+	return []Configuration{
+		Baseline,
+		{Name: "nextline", Prefetcher: "nextline"},
+		{Name: "sn4l", Prefetcher: "sn4l"},
+		{Name: "mana-2k", Prefetcher: "mana-2k"},
+		{Name: "mana-4k", Prefetcher: "mana-4k"},
+		{Name: "rdip", Prefetcher: "rdip"},
+		{Name: "entangling-2k", Prefetcher: "entangling-2k"},
+		{Name: "entangling-4k", Prefetcher: "entangling-4k"},
+		{Name: "ideal", IdealL1I: true},
+	}
+}
+
+// PhysicalConfigurations returns the §IV-E physical-address lineup.
+func PhysicalConfigurations() []Configuration {
+	return []Configuration{
+		{Name: "no", Physical: true},
+		{Name: "entangling-2k-phys", Prefetcher: "entangling-2k-phys", Physical: true},
+		{Name: "entangling-4k-phys", Prefetcher: "entangling-4k-phys", Physical: true},
+		{Name: "entangling-8k-phys", Prefetcher: "entangling-8k-phys", Physical: true},
+	}
+}
+
+// AblationConfigurations returns the Figure 11 variant matrix.
+func AblationConfigurations() []Configuration {
+	out := []Configuration{Baseline}
+	for _, size := range []string{"2k", "4k", "8k"} {
+		for _, v := range []string{"BB", "BBEnt", "BBEntBB", "Ent"} {
+			name := "entangling-" + size + "-" + v
+			out = append(out, Configuration{Name: name, Prefetcher: name})
+		}
+		name := "entangling-" + size
+		out = append(out, Configuration{Name: name, Prefetcher: name})
+	}
+	return out
+}
+
+// Options control suite execution.
+type Options struct {
+	// Warmup instructions are discarded (the paper warms caches before
+	// measuring).
+	Warmup uint64
+	// Measure instructions are measured.
+	Measure uint64
+	// PerCategory sizes the CVP-like suite (workloads per category).
+	PerCategory int
+	// Parallelism bounds concurrent runs (defaults to GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions returns the paperfigs defaults.
+func DefaultOptions() Options {
+	return Options{
+		Warmup:      2_000_000,
+		Measure:     1_000_000,
+		PerCategory: 6,
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+}
+
+// QuickOptions returns a reduced setting for benchmarks and smoke runs.
+func QuickOptions() Options {
+	return Options{
+		Warmup:      800_000,
+		Measure:     400_000,
+		PerCategory: 2,
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+}
+
+// RunResult couples one (configuration, workload) run with its
+// results.
+type RunResult struct {
+	Config   string
+	Workload string
+	Category workload.Category
+	R        cpu.Results
+	// Ent holds Entangling-internal statistics when the configuration
+	// runs an Entangling prefetcher (Figures 12-15).
+	Ent *core.Stats
+}
+
+// Run executes one configuration over one workload. extraListener and
+// branchHook may be nil; they serve the oracle studies.
+func Run(cfg Configuration, spec workload.Spec, warmup, measure uint64,
+	extraListener cache.Listener, branchHook func(prefetch.BranchEvent)) (RunResult, error) {
+
+	prog, err := workload.BuildProgram(spec.Params)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("harness: building %s: %w", spec.Name, err)
+	}
+	m, err := machineFor(cfg, spec.Params.Seed, extraListener, branchHook)
+	if err != nil {
+		return RunResult{}, err
+	}
+	r := m.RunWindows(workload.NewWalker(prog), warmup, measure)
+
+	out := RunResult{Config: cfg.Name, Workload: spec.Name, Category: spec.Params.Category, R: r}
+	if ent, ok := m.Prefetcher().(*core.Entangling); ok {
+		s := ent.Stats()
+		out.Ent = &s
+	}
+	return out, nil
+}
+
+// RunSource executes one configuration over an arbitrary instruction
+// source (e.g. a trace file). The source is consumed once.
+func RunSource(cfg Configuration, src trace.Source, warmup, measure uint64) (RunResult, error) {
+	m, err := machineFor(cfg, 0, nil, nil)
+	if err != nil {
+		return RunResult{}, err
+	}
+	r := m.RunWindows(src, warmup, measure)
+	out := RunResult{Config: cfg.Name, Workload: "trace", R: r}
+	if ent, ok := m.Prefetcher().(*core.Entangling); ok {
+		s := ent.Stats()
+		out.Ent = &s
+	}
+	return out, nil
+}
+
+// machineFor assembles the simulated machine for a configuration.
+func machineFor(cfg Configuration, salt uint64,
+	extraListener cache.Listener, branchHook func(prefetch.BranchEvent)) (*cpu.Machine, error) {
+
+	mc := cpu.DefaultConfig()
+	if cfg.IdealL1I {
+		mc.L1I.Ideal = true
+	}
+	if cfg.L1IWays > 0 {
+		mc.L1I.Ways = cfg.L1IWays
+	}
+	if cfg.Physical {
+		mc.PhysicalAddresses = true
+		mc.TranslatorSalt = salt
+	}
+	if cfg.Prefetcher != "" && cfg.Prefetcher != "no" {
+		name := cfg.Prefetcher
+		var perr error
+		mc.Prefetcher = func(is prefetch.Issuer) prefetch.Prefetcher {
+			pf, err := prefetch.New(name, is)
+			if err != nil {
+				perr = err
+				return prefetch.NewNone(is)
+			}
+			return pf
+		}
+		// Eagerly validate the name so the error surfaces before the run.
+		if _, err := prefetch.New(name, nopIssuer{}); err != nil {
+			return nil, err
+		}
+		_ = perr
+	}
+	mc.ExtraL1IListener = extraListener
+	mc.BranchHook = branchHook
+	return cpu.New(mc), nil
+}
+
+// nopIssuer validates registry names without a real cache.
+type nopIssuer struct{}
+
+func (nopIssuer) Prefetch(uint64, uint64, uint64) bool { return true }

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"entangling/internal/stats"
+	"entangling/internal/workload"
+)
+
+// SuiteResults indexes the runs of a configurations x workloads sweep.
+type SuiteResults struct {
+	// Runs[config][workload] holds the run result.
+	Runs map[string]map[string]RunResult
+	// ConfigOrder preserves the configuration order for rendering.
+	ConfigOrder []string
+	// WorkloadOrder preserves the workload order.
+	WorkloadOrder []string
+}
+
+// RunSuite executes every configuration over every workload.
+func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteResults, error) {
+	out := &SuiteResults{Runs: make(map[string]map[string]RunResult)}
+	for _, c := range cfgs {
+		out.ConfigOrder = append(out.ConfigOrder, c.Name)
+		out.Runs[c.Name] = make(map[string]RunResult, len(specs))
+	}
+	for _, s := range specs {
+		out.WorkloadOrder = append(out.WorkloadOrder, s.Name)
+	}
+
+	type job struct {
+		cfg  Configuration
+		spec workload.Spec
+	}
+	jobs := make(chan job)
+	results := make(chan RunResult, 8)
+	errs := make(chan error, 1)
+
+	workers := opt.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := Run(j.cfg, j.spec, opt.Warmup, opt.Measure, nil, nil)
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					continue
+				}
+				results <- r
+			}
+		}()
+	}
+	go func() {
+		for _, c := range cfgs {
+			for _, s := range specs {
+				jobs <- job{cfg: c, spec: s}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		out.Runs[r.Config][r.Workload] = r
+	}
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return out, nil
+}
+
+// baselineFor returns the baseline run for a workload (the "no"
+// configuration), which normalizations and coverage are computed
+// against.
+func (s *SuiteResults) baselineFor(wl string) (RunResult, bool) {
+	base, ok := s.Runs["no"]
+	if !ok {
+		return RunResult{}, false
+	}
+	r, ok := base[wl]
+	return r, ok
+}
+
+// NormalizedIPC returns each workload's IPC under cfg divided by the
+// baseline IPC, in workload order.
+func (s *SuiteResults) NormalizedIPC(cfg string) []float64 {
+	var out []float64
+	for _, wl := range s.WorkloadOrder {
+		r, ok := s.Runs[cfg][wl]
+		b, bok := s.baselineFor(wl)
+		if !ok || !bok || b.R.IPC == 0 {
+			continue
+		}
+		out = append(out, r.R.IPC/b.R.IPC)
+	}
+	return out
+}
+
+// GeomeanSpeedup returns the geometric-mean normalized IPC of cfg.
+func (s *SuiteResults) GeomeanSpeedup(cfg string) float64 {
+	n := s.NormalizedIPC(cfg)
+	if len(n) == 0 {
+		return 0
+	}
+	return stats.Geomean(n)
+}
+
+// MissRatios returns each workload's L1I miss ratio under cfg.
+func (s *SuiteResults) MissRatios(cfg string) []float64 {
+	var out []float64
+	for _, wl := range s.WorkloadOrder {
+		if r, ok := s.Runs[cfg][wl]; ok {
+			out = append(out, r.R.L1I.MissRatio())
+		}
+	}
+	return out
+}
+
+// Coverage returns per-workload prefetch coverage vs baseline misses
+// (the paper's "percentage of L1I misses covered by prefetching").
+func (s *SuiteResults) Coverage(cfg string) []float64 {
+	var out []float64
+	for _, wl := range s.WorkloadOrder {
+		r, ok := s.Runs[cfg][wl]
+		b, bok := s.baselineFor(wl)
+		if !ok || !bok || b.R.L1I.Misses == 0 {
+			continue
+		}
+		cov := 1 - float64(r.R.L1I.Misses)/float64(b.R.L1I.Misses)
+		out = append(out, cov)
+	}
+	return out
+}
+
+// Accuracy returns per-workload prefetch accuracy under cfg.
+func (s *SuiteResults) Accuracy(cfg string) []float64 {
+	var out []float64
+	for _, wl := range s.WorkloadOrder {
+		if r, ok := s.Runs[cfg][wl]; ok {
+			out = append(out, r.R.L1I.Accuracy())
+		}
+	}
+	return out
+}
+
+// StorageKB returns the configuration's prefetcher budget in KB (taken
+// from any run; 0 for baseline/cache-growth configurations).
+func (s *SuiteResults) StorageKB(cfg string) float64 {
+	for _, r := range s.Runs[cfg] {
+		return float64(r.R.StorageBits) / 8 / 1024
+	}
+	return 0
+}
+
+// CategoryMean aggregates a per-run metric by workload category,
+// returning means and standard deviations keyed by category (the
+// grouping of Figures 12-15).
+func (s *SuiteResults) CategoryMean(cfg string, metric func(RunResult) (float64, bool)) (map[workload.Category]float64, map[workload.Category]float64) {
+	byCat := map[workload.Category][]float64{}
+	for _, wl := range s.WorkloadOrder {
+		r, ok := s.Runs[cfg][wl]
+		if !ok {
+			continue
+		}
+		if v, ok := metric(r); ok {
+			byCat[r.Category] = append(byCat[r.Category], v)
+		}
+	}
+	means := map[workload.Category]float64{}
+	devs := map[workload.Category]float64{}
+	for c, vs := range byCat {
+		means[c] = stats.Mean(vs)
+		devs[c] = stats.Stddev(vs)
+	}
+	return means, devs
+}
+
+// Categories returns the categories present, sorted.
+func (s *SuiteResults) Categories() []workload.Category {
+	seen := map[workload.Category]bool{}
+	for _, wl := range s.WorkloadOrder {
+		for _, cfgRuns := range s.Runs {
+			if r, ok := cfgRuns[wl]; ok {
+				seen[r.Category] = true
+				break
+			}
+		}
+	}
+	var out []string
+	for c := range seen {
+		out = append(out, string(c))
+	}
+	sort.Strings(out)
+	cats := make([]workload.Category, len(out))
+	for i, c := range out {
+		cats[i] = workload.Category(c)
+	}
+	return cats
+}
+
+// Validate checks the sweep is complete (every config ran every
+// workload).
+func (s *SuiteResults) Validate() error {
+	for _, c := range s.ConfigOrder {
+		for _, wl := range s.WorkloadOrder {
+			if _, ok := s.Runs[c][wl]; !ok {
+				return fmt.Errorf("harness: missing run %s/%s", c, wl)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"testing"
+
+	"entangling/internal/core"
+	"entangling/internal/workload"
+)
+
+func TestCategoryMeanAndCategories(t *testing.T) {
+	s := &SuiteResults{
+		Runs: map[string]map[string]RunResult{
+			"x": {
+				"a": {Config: "x", Workload: "a", Category: workload.Srv,
+					Ent: &core.Stats{TableHits: 10, DstFound: 20}},
+				"b": {Config: "x", Workload: "b", Category: workload.Srv,
+					Ent: &core.Stats{TableHits: 10, DstFound: 40}},
+				"c": {Config: "x", Workload: "c", Category: workload.Crypto,
+					Ent: nil}, // no entangling stats: excluded
+			},
+		},
+		ConfigOrder:   []string{"x"},
+		WorkloadOrder: []string{"a", "b", "c"},
+	}
+	means, devs := s.CategoryMean("x", entMetric(func(e *core.Stats) (float64, bool) {
+		if e.TableHits == 0 {
+			return 0, false
+		}
+		return float64(e.DstFound) / float64(e.TableHits), true
+	}))
+	if means[workload.Srv] != 3 {
+		t.Errorf("srv mean = %v, want 3", means[workload.Srv])
+	}
+	if devs[workload.Srv] != 1 {
+		t.Errorf("srv stddev = %v, want 1", devs[workload.Srv])
+	}
+	if _, ok := means[workload.Crypto]; ok {
+		t.Error("category with no samples should be absent")
+	}
+	cats := s.Categories()
+	if len(cats) != 2 {
+		t.Errorf("categories = %v", cats)
+	}
+}
+
+func TestSuiteMetricsWithoutBaseline(t *testing.T) {
+	s := &SuiteResults{
+		Runs:          map[string]map[string]RunResult{"x": {}},
+		ConfigOrder:   []string{"x"},
+		WorkloadOrder: []string{"a"},
+	}
+	if got := s.NormalizedIPC("x"); len(got) != 0 {
+		t.Errorf("NormalizedIPC without baseline = %v", got)
+	}
+	if got := s.Coverage("x"); len(got) != 0 {
+		t.Errorf("Coverage without baseline = %v", got)
+	}
+	if s.GeomeanSpeedup("x") != 0 {
+		t.Error("GeomeanSpeedup without runs should be 0")
+	}
+	if s.StorageKB("x") != 0 {
+		t.Error("StorageKB without runs should be 0")
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("incomplete suite validated")
+	}
+}
+
+func TestFig11RowShape(t *testing.T) {
+	// Synthetic suite with the ablation config names present.
+	s := &SuiteResults{Runs: map[string]map[string]RunResult{}}
+	add := func(cfg string, ipc float64) {
+		s.Runs[cfg] = map[string]RunResult{"w": {Config: cfg, Workload: "w"}}
+		r := s.Runs[cfg]["w"]
+		r.R.IPC = ipc
+		s.Runs[cfg]["w"] = r
+	}
+	add("no", 1.0)
+	for _, size := range []string{"2k", "4k", "8k"} {
+		for _, v := range []string{"-BB", "-Ent", "-BBEnt", "-BBEntBB", ""} {
+			add("entangling-"+size+v, 1.1)
+		}
+	}
+	s.WorkloadOrder = []string{"w"}
+	tab := Fig11(s)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Fig11 rows = %d, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 4 {
+			t.Errorf("Fig11 row %v has %d cells", row, len(row))
+		}
+		if row[1] != "+10.00%" {
+			t.Errorf("speedup cell = %q", row[1])
+		}
+	}
+}
+
+func TestPhysicalTableSkipsBaseline(t *testing.T) {
+	s := &SuiteResults{
+		Runs: map[string]map[string]RunResult{
+			"no": {"w": {}}, "p": {"w": {}},
+		},
+		ConfigOrder:   []string{"no", "p"},
+		WorkloadOrder: []string{"w"},
+	}
+	tab := PhysicalTable(s)
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "p" {
+		t.Errorf("PhysicalTable rows: %v", tab.Rows)
+	}
+}
+
+func TestExtTablesRender(t *testing.T) {
+	if len(SplitConfigurations()) != 7 || len(ContextConfigurations()) != 3 ||
+		len(RetireConfigurations()) != 3 {
+		t.Fatal("extension configuration lists wrong")
+	}
+	// Smoke the PQ sweep at tiny scale.
+	tab, err := ExtPQSweep(60_000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("PQ sweep rows = %d", len(tab.Rows))
+	}
+}
+
+func TestHeadlineRenders(t *testing.T) {
+	specs := workload.CVPSuite(1)[:2]
+	cfgs := []Configuration{
+		Baseline,
+		{Name: "entangling-2k", Prefetcher: "entangling-2k"},
+		{Name: "ideal", IdealL1I: true},
+	}
+	s, err := RunSuite(specs, cfgs, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Headline(s)
+	if len(tab.Rows) != 2 { // entangling-2k + ideal
+		t.Fatalf("Headline rows = %d: %v", len(tab.Rows), tab.Rows)
+	}
+	if tab.Rows[0][0] != "entangling-2k" {
+		t.Errorf("first row %v", tab.Rows[0])
+	}
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: the textual equivalent of one
+// of the paper's figures or tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note carries caveats (e.g. suite size) into the rendering.
+	Note string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+		sb.WriteString(strings.Repeat("=", len(t.Title)) + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", max(0, total-2)) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		sb.WriteString("note: " + t.Note + "\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// f2, f3, pct format numeric cells consistently across figures.
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// JSON renders the table as a JSON object with title, header, rows and
+// note, for downstream tooling.
+func (t *Table) JSON() string {
+	obj := struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Note   string     `json:"note,omitempty"`
+	}{t.Title, t.Header, t.Rows, t.Note}
+	b, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		// A slice-of-strings structure cannot fail to marshal; keep the
+		// signature ergonomic.
+		return "{}"
+	}
+	return string(b)
+}

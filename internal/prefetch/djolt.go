@@ -1,0 +1,181 @@
+package prefetch
+
+import (
+	"entangling/internal/cache"
+	"entangling/internal/trace"
+)
+
+// DJolt (Nakamura et al. [35], §IV-B) refines RDIP with (i) more
+// accurate context signatures and (ii) a dual look-ahead mechanism: a
+// short-range table keyed by the recent call/return context covers
+// nearby misses, while a long-range table keyed by a deeper context
+// prefetches "distant jolts" far ahead of fetch, so both short- and
+// long-latency misses can be timely.
+//
+// Configuration as evaluated: 8K-entry miss tables, 125KB total.
+type DJolt struct {
+	Base
+	issuer Issuer
+
+	short *sigTable
+	long  *sigTable
+
+	// callHist is the rolling call/return context the signatures hash.
+	callHist []uint64
+}
+
+// sigTable is a signature-indexed miss table shared by the two ranges.
+type sigTable struct {
+	sets, ways int
+	entries    []rdipEntry
+	tick       uint64
+	depth      int // signature depth in events
+}
+
+func newSigTable(entriesN, depth int) *sigTable {
+	ways := 4
+	return &sigTable{
+		sets:    entriesN / ways,
+		ways:    ways,
+		entries: make([]rdipEntry, entriesN),
+		depth:   depth,
+	}
+}
+
+func (t *sigTable) signature(hist []uint64) uint64 {
+	var sig uint64
+	n := len(hist)
+	for i := 0; i < t.depth && i < n; i++ {
+		sig = sig<<9 ^ sig>>55 ^ hist[n-1-i]
+	}
+	return sig * 0x9E3779B97F4A7C15
+}
+
+func (t *sigTable) set(sig uint64) []rdipEntry {
+	s := int(sig>>33) % t.sets
+	if s < 0 {
+		s = -s
+	}
+	return t.entries[s*t.ways : (s+1)*t.ways]
+}
+
+func (t *sigTable) lookup(sig uint64) *rdipEntry {
+	set := t.set(sig)
+	for i := range set {
+		if set[i].valid && set[i].sig == sig {
+			t.tick++
+			set[i].lru = t.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (t *sigTable) ensure(sig uint64) *rdipEntry {
+	if e := t.lookup(sig); e != nil {
+		return e
+	}
+	set := t.set(sig)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	t.tick++
+	*victim = rdipEntry{sig: sig, valid: true, lru: t.tick}
+	return victim
+}
+
+func (t *sigTable) train(sig uint64, line uint64) {
+	e := t.ensure(sig)
+	for i := 0; i < e.n; i++ {
+		tr := &e.triggers[i]
+		if line > tr.line && line-tr.line <= 8 {
+			tr.footprint |= 1 << (line - tr.line - 1)
+			return
+		}
+		if tr.line == line {
+			return
+		}
+	}
+	if e.n < len(e.triggers) {
+		e.triggers[e.n] = rdipTrigger{line: line}
+		e.n++
+		return
+	}
+	copy(e.triggers[:], e.triggers[1:])
+	e.triggers[len(e.triggers)-1] = rdipTrigger{line: line}
+}
+
+func (t *sigTable) prefetch(issuer Issuer, cycle uint64, sig uint64) {
+	e := t.lookup(sig)
+	if e == nil {
+		return
+	}
+	for i := 0; i < e.n; i++ {
+		tr := e.triggers[i]
+		issuer.Prefetch(cycle, tr.line, 0)
+		for b := uint64(0); b < 8; b++ {
+			if tr.footprint&(1<<b) != 0 {
+				issuer.Prefetch(cycle, tr.line+b+1, 0)
+			}
+		}
+	}
+}
+
+// NewDJolt returns the paper's D-JOLT configuration (125KB).
+func NewDJolt(issuer Issuer) *DJolt {
+	return &DJolt{
+		Base:   Base{PfName: "djolt", Bits: uint64(125 * 1024 * 8)},
+		issuer: issuer,
+		short:  newSigTable(8192, 2),
+		long:   newSigTable(8192, 6),
+	}
+}
+
+// OnBranch implements Prefetcher.
+func (p *DJolt) OnBranch(ev BranchEvent) {
+	switch {
+	case ev.Type.IsCall() && ev.Taken:
+		p.callHist = append(p.callHist, ev.Target>>4)
+		if len(p.callHist) > 16 {
+			p.callHist = p.callHist[1:]
+		}
+	case ev.Type == trace.Return:
+		p.callHist = append(p.callHist, ev.PC>>4|1)
+		if len(p.callHist) > 16 {
+			p.callHist = p.callHist[1:]
+		}
+	default:
+		return
+	}
+	p.short.prefetch(p.issuer, ev.Cycle, p.short.signature(p.callHist))
+	p.long.prefetch(p.issuer, ev.Cycle, p.long.signature(p.callHist))
+}
+
+// OnAccess implements Prefetcher: a fall-through next-line component
+// covers sequential misses (the original's third engine), and misses
+// train both signature ranges. The long-range table is trained with
+// the context several events back (its look-ahead), which is what lets
+// it fire early next time.
+func (p *DJolt) OnAccess(ev cache.AccessEvent) {
+	p.issuer.Prefetch(ev.Cycle, ev.LineAddr+1, 0)
+	if ev.Hit {
+		return
+	}
+	p.issuer.Prefetch(ev.Cycle, ev.LineAddr+2, 0)
+	p.short.train(p.short.signature(p.callHist), ev.LineAddr)
+	if len(p.callHist) > 4 {
+		// The long-range context as of 4 events ago.
+		p.long.train(p.long.signature(p.callHist[:len(p.callHist)-4]), ev.LineAddr)
+	}
+}
+
+func init() {
+	Register("djolt", func(is Issuer) Prefetcher { return NewDJolt(is) })
+}

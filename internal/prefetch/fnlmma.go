@@ -1,0 +1,169 @@
+package prefetch
+
+import "entangling/internal/cache"
+
+// FNLMMA (Seznec [44], §IV-B) combines the Footprint Next Line
+// prefetcher — an enhanced next-line that first estimates whether a
+// line is *worth* prefetching — with the Multiple Miss Ahead
+// prefetcher, which predicts the Nth next L1I miss from the current
+// one and prefetches it (plus its worthiness-filtered neighbours),
+// covering the distances next-line cannot.
+//
+// Configuration as evaluated: 8K-entry miss table, 97KB total.
+type FNLMMA struct {
+	Base
+	issuer Issuer
+
+	// worth holds 2-bit worthiness counters indexed by hashed line.
+	worth []uint8
+
+	// missTable maps a miss line to the miss observed Distance misses
+	// later.
+	missSets, missWays int
+	missTable          []fnlEntry
+	tick               uint64
+
+	// ring holds the last Distance miss lines.
+	ring []uint64
+	pos  int
+	full bool
+
+	// Distance is the MMA look-ahead in misses.
+	Distance int
+
+	prevLine uint64
+	haveLine bool
+}
+
+type fnlEntry struct {
+	tag   uint64
+	next  uint64
+	valid bool
+	lru   uint64
+}
+
+// fnlWorthBits sizes the worthiness table (16K 2-bit counters).
+const fnlWorthBits = 14
+
+// NewFNLMMA returns the paper's FNL+MMA configuration (97KB).
+func NewFNLMMA(issuer Issuer) *FNLMMA {
+	const entriesN = 8192
+	ways := 4
+	return &FNLMMA{
+		Base:      Base{PfName: "fnl+mma", Bits: uint64(97 * 1024 * 8)},
+		issuer:    issuer,
+		worth:     make([]uint8, 1<<fnlWorthBits),
+		missSets:  entriesN / ways,
+		missWays:  ways,
+		missTable: make([]fnlEntry, entriesN),
+		ring:      make([]uint64, 4),
+		Distance:  4,
+	}
+}
+
+func worthIndex(line uint64) uint64 {
+	h := line * 0x9E3779B97F4A7C15
+	return h >> (64 - fnlWorthBits)
+}
+
+func (p *FNLMMA) missSet(line uint64) []fnlEntry {
+	h := line ^ line>>11
+	s := int(h % uint64(p.missSets))
+	return p.missTable[s*p.missWays : (s+1)*p.missWays]
+}
+
+func (p *FNLMMA) missLookup(line uint64) *fnlEntry {
+	set := p.missSet(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			p.tick++
+			set[i].lru = p.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (p *FNLMMA) missInsert(line, next uint64) {
+	if e := p.missLookup(line); e != nil {
+		e.next = next
+		return
+	}
+	set := p.missSet(line)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	p.tick++
+	*victim = fnlEntry{tag: line, next: next, valid: true, lru: p.tick}
+}
+
+// OnAccess implements Prefetcher.
+func (p *FNLMMA) OnAccess(ev cache.AccessEvent) {
+	line := ev.LineAddr
+
+	// FNL training: a line following its predecessor sequentially is
+	// worth prefetching.
+	if p.haveLine && line > p.prevLine && line-p.prevLine <= 2 {
+		if c := &p.worth[worthIndex(line)]; *c < 3 {
+			*c++
+		}
+	}
+	p.prevLine, p.haveLine = line, true
+
+	// FNL prefetch: next lines that look worthwhile.
+	for i := uint64(1); i <= 3; i++ {
+		if p.worth[worthIndex(line+i)] >= 2 {
+			p.issuer.Prefetch(ev.Cycle, line+i, 0)
+		}
+	}
+
+	if ev.Hit {
+		return
+	}
+
+	// MMA: train the miss Distance back with this miss, then predict
+	// forward from the current miss.
+	if p.full {
+		p.missInsert(p.ring[p.pos], line)
+	}
+	p.ring[p.pos] = line
+	p.pos = (p.pos + 1) % p.Distance
+	if p.pos == 0 {
+		p.full = true
+	}
+
+	// Chase up to two hops of miss-ahead predictions, each with its
+	// worthiness-filtered follower.
+	t := line
+	for hop := 0; hop < 2; hop++ {
+		e := p.missLookup(t)
+		if e == nil {
+			break
+		}
+		p.issuer.Prefetch(ev.Cycle, e.next, 0)
+		if p.worth[worthIndex(e.next+1)] >= 2 {
+			p.issuer.Prefetch(ev.Cycle, e.next+1, 0)
+		}
+		t = e.next
+	}
+}
+
+// OnEvict implements Prefetcher: unused prefetches unlearn worthiness.
+func (p *FNLMMA) OnEvict(ev cache.EvictEvent) {
+	if ev.Prefetched && !ev.Accessed {
+		if c := &p.worth[worthIndex(ev.LineAddr)]; *c > 0 {
+			*c--
+		}
+	}
+}
+
+func init() {
+	Register("fnl+mma", func(is Issuer) Prefetcher { return NewFNLMMA(is) })
+}

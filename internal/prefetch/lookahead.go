@@ -1,0 +1,94 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"entangling/internal/cache"
+)
+
+// Lookahead is the fixed look-ahead-distance correlation prefetcher
+// used for the motivation study (Figures 1 and 2): a Markov-style
+// table maps each discontinuity (basic-block head, in the paper's
+// sense: the first non-consecutive line of a fetch run) to the head
+// observed d discontinuities later. On an access to a learned head it
+// prefetches the recorded future head. Accuracy degrades as d grows —
+// the paper's Figure 2 — because the d-ahead path becomes less
+// deterministic.
+type Lookahead struct {
+	Base
+	issuer Issuer
+
+	// Distance is the look-ahead distance in discontinuities.
+	Distance int
+
+	table map[uint64]uint64
+	// ring holds the last Distance heads.
+	ring []uint64
+	pos  int
+	full bool
+
+	prevLine uint64
+	haveLine bool
+
+	maxEntries int
+}
+
+// NewLookahead builds a look-ahead prefetcher with the given distance.
+func NewLookahead(issuer Issuer, distance int) *Lookahead {
+	if distance < 1 {
+		distance = 1
+	}
+	const entries = 8192
+	return &Lookahead{
+		Base: Base{
+			PfName: fmt.Sprintf("lookahead-%d", distance),
+			// entries x (source line tag + target line addr).
+			Bits: entries * (58 + 58),
+		},
+		issuer:     issuer,
+		Distance:   distance,
+		table:      make(map[uint64]uint64, entries),
+		ring:       make([]uint64, distance),
+		maxEntries: entries,
+	}
+}
+
+// OnAccess implements Prefetcher.
+func (p *Lookahead) OnAccess(ev cache.AccessEvent) {
+	isHead := !p.haveLine || (ev.LineAddr != p.prevLine && ev.LineAddr != p.prevLine+1)
+	p.prevLine, p.haveLine = ev.LineAddr, true
+	if !isHead {
+		return
+	}
+
+	// Train: the head Distance discontinuities ago now knows its
+	// d-ahead successor.
+	if p.full {
+		src := p.ring[p.pos]
+		if _, exists := p.table[src]; !exists && len(p.table) >= p.maxEntries {
+			// Capacity model: drop new correlations when full.
+		} else {
+			p.table[src] = ev.LineAddr
+		}
+	}
+	p.ring[p.pos] = ev.LineAddr
+	p.pos = (p.pos + 1) % len(p.ring)
+	if p.pos == 0 {
+		p.full = true
+	}
+
+	// Predict: prefetch the learned d-ahead head and its follower.
+	if dst, ok := p.table[ev.LineAddr]; ok {
+		p.issuer.Prefetch(ev.Cycle, dst, 0)
+		p.issuer.Prefetch(ev.Cycle, dst+1, 0)
+	}
+}
+
+func init() {
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		d := d
+		Register(fmt.Sprintf("lookahead-%d", d), func(is Issuer) Prefetcher {
+			return NewLookahead(is, d)
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package prefetch
+
+import "entangling/internal/cache"
+
+// NextLine is the pure next-line prefetcher of the evaluation (§IV-B,
+// after Baer [8]): on every demand access it prefetches the following
+// cache line. It adds no storage.
+type NextLine struct {
+	Base
+	issuer Issuer
+	// Degree is how many sequential lines to prefetch (1 in the paper's
+	// NextLine baseline).
+	Degree int
+}
+
+// NewNextLine returns the paper's NextLine configuration.
+func NewNextLine(issuer Issuer) Prefetcher {
+	return &NextLine{Base: Base{PfName: "nextline"}, issuer: issuer, Degree: 1}
+}
+
+// OnAccess implements Prefetcher.
+func (p *NextLine) OnAccess(ev cache.AccessEvent) {
+	for i := 1; i <= p.Degree; i++ {
+		p.issuer.Prefetch(ev.Cycle, ev.LineAddr+uint64(i), 0)
+	}
+}
+
+func init() {
+	Register("nextline", NewNextLine)
+}

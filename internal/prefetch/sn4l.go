@@ -1,0 +1,85 @@
+package prefetch
+
+import "entangling/internal/cache"
+
+// SN4L is the memory-efficient "shifted N4L" component of Ansari et
+// al.'s divide-and-conquer prefetcher (§IV-B, [6]): a 16K-bit vector,
+// indexed by hashed line address, whose bit says whether the line is
+// worth prefetching sequentially. On each access the next four lines
+// are prefetched if their bits are set. The paper quotes 2.06KB of
+// storage for the whole scheme.
+type SN4L struct {
+	Base
+	issuer Issuer
+
+	bits []uint64 // 16K bits = 256 words
+	// recent is a tiny recency window of accessed lines used to learn
+	// the "accessed sequentially after a predecessor" property.
+	recent [8]uint64
+	rpos   int
+}
+
+// sn4lBits is the vector size in bits.
+const sn4lBits = 16 * 1024
+
+// NewSN4L returns the SN4L configuration (2.06KB as in the paper).
+func NewSN4L(issuer Issuer) Prefetcher {
+	return &SN4L{
+		Base:   Base{PfName: "sn4l", Bits: 2*8*1024 + 488}, // 2.06KB
+		issuer: issuer,
+		bits:   make([]uint64, sn4lBits/64),
+	}
+}
+
+func sn4lIndex(lineAddr uint64) (word, bit uint64) {
+	h := lineAddr * 0x9E3779B97F4A7C15 >> (64 - 14) // 14 bits -> 16K
+	return h / 64, h % 64
+}
+
+func (p *SN4L) test(lineAddr uint64) bool {
+	w, b := sn4lIndex(lineAddr)
+	return p.bits[w]>>b&1 == 1
+}
+
+func (p *SN4L) set(lineAddr uint64) {
+	w, b := sn4lIndex(lineAddr)
+	p.bits[w] |= 1 << b
+}
+
+func (p *SN4L) clear(lineAddr uint64) {
+	w, b := sn4lIndex(lineAddr)
+	p.bits[w] &^= 1 << b
+}
+
+// OnAccess implements Prefetcher.
+func (p *SN4L) OnAccess(ev cache.AccessEvent) {
+	// Train: if this line follows one of the recent lines sequentially
+	// (within distance 4), it is worth prefetching.
+	for _, r := range p.recent {
+		if r != 0 && ev.LineAddr > r && ev.LineAddr-r <= 4 {
+			p.set(ev.LineAddr)
+			break
+		}
+	}
+	p.recent[p.rpos] = ev.LineAddr
+	p.rpos = (p.rpos + 1) % len(p.recent)
+
+	// Prefetch the next four worthy lines.
+	for i := uint64(1); i <= 4; i++ {
+		if p.test(ev.LineAddr + i) {
+			p.issuer.Prefetch(ev.Cycle, ev.LineAddr+i, 0)
+		}
+	}
+}
+
+// OnEvict implements Prefetcher: an unused prefetch unlearns the line's
+// worthiness bit.
+func (p *SN4L) OnEvict(ev cache.EvictEvent) {
+	if ev.Prefetched && !ev.Accessed {
+		p.clear(ev.LineAddr)
+	}
+}
+
+func init() {
+	Register("sn4l", NewSN4L)
+}

@@ -1,0 +1,239 @@
+// Package stats provides the small statistical toolkit used by the
+// simulator and the experiment harness: geometric means for IPC
+// aggregation, arithmetic summaries, sorted series for the paper's
+// per-workload "S-curve" figures, and fixed-bucket histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Geomean returns the geometric mean of xs. It returns 0 for an empty
+// slice and panics if any value is non-positive, since a geometric mean
+// of speedups is only meaningful over positive ratios.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: Geomean requires positive values, got %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs, or 0 when xs
+// has fewer than two elements.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Sorted returns a copy of xs sorted ascending. The paper's Figures 7-10
+// plot each configuration's per-workload metric sorted independently;
+// Sorted is the building block for those series.
+func Sorted(xs []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s
+}
+
+// SCurve resamples the sorted values of xs at n evenly spaced points, so
+// series with different workload counts can be compared on one axis.
+// It returns nil when xs is empty or n <= 0.
+func SCurve(xs []float64, n int) []float64 {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	s := Sorted(xs)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var pos float64
+		if n == 1 {
+			pos = 0
+		} else {
+			pos = float64(i) / float64(n-1) * float64(len(s)-1)
+		}
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			out[i] = s[lo]
+		} else {
+			frac := pos - float64(lo)
+			out[i] = s[lo]*(1-frac) + s[hi]*frac
+		}
+	}
+	return out
+}
+
+// Ratio returns num/den, or 0 when den is 0. It is the safe division
+// used throughout metric computation (coverage, accuracy, miss ratios).
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Histogram is a fixed-bucket histogram over int-labelled buckets plus
+// an overflow bucket, used e.g. for the look-ahead-distance study
+// (Figure 1) and the compression-mode distribution (Figure 12).
+type Histogram struct {
+	// Buckets[i] counts observations with value == Lo+i.
+	Buckets []uint64
+	// Overflow counts observations with value > Lo+len(Buckets)-1.
+	Overflow uint64
+	// Underflow counts observations with value < Lo.
+	Underflow uint64
+	// Lo is the value of the first bucket.
+	Lo int
+}
+
+// NewHistogram creates a histogram covering [lo, hi] inclusive.
+func NewHistogram(lo, hi int) *Histogram {
+	if hi < lo {
+		panic("stats: NewHistogram requires hi >= lo")
+	}
+	return &Histogram{Buckets: make([]uint64, hi-lo+1), Lo: lo}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	switch {
+	case v < h.Lo:
+		h.Underflow++
+	case v >= h.Lo+len(h.Buckets):
+		h.Overflow++
+	default:
+		h.Buckets[v-h.Lo]++
+	}
+}
+
+// Total returns the number of observations recorded, including under-
+// and overflow.
+func (h *Histogram) Total() uint64 {
+	t := h.Underflow + h.Overflow
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Fraction returns the fraction of all observations in the bucket for
+// value v (0 when nothing was recorded).
+func (h *Histogram) Fraction(v int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	if v < h.Lo || v >= h.Lo+len(h.Buckets) {
+		return 0
+	}
+	return float64(h.Buckets[v-h.Lo]) / float64(t)
+}
+
+// CumulativeFraction returns the fraction of observations with value
+// <= v (treating underflow as below every bucket).
+func (h *Histogram) CumulativeFraction(v int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	sum := h.Underflow
+	for i, b := range h.Buckets {
+		if h.Lo+i > v {
+			break
+		}
+		sum += b
+	}
+	return float64(sum) / float64(t)
+}
+
+// Merge adds the counts of other into h. The histograms must have the
+// same shape.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.Lo != h.Lo || len(other.Buckets) != len(h.Buckets) {
+		panic("stats: Merge requires identical histogram shapes")
+	}
+	h.Underflow += other.Underflow
+	h.Overflow += other.Overflow
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// RunningMean accumulates a mean without storing samples.
+type RunningMean struct {
+	n   uint64
+	sum float64
+}
+
+// Add records one sample.
+func (r *RunningMean) Add(x float64) { r.n++; r.sum += x }
+
+// AddN records a pre-aggregated batch of n samples summing to sum.
+func (r *RunningMean) AddN(n uint64, sum float64) { r.n += n; r.sum += sum }
+
+// Mean returns the current mean (0 before any samples).
+func (r *RunningMean) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Count returns the number of samples recorded.
+func (r *RunningMean) Count() uint64 { return r.n }

@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"entangling/internal/trace"
+)
+
+// Walker interprets a Program's control-flow graph and yields the
+// dynamic instruction stream. It implements trace.Source.
+//
+// The walk is deterministic: two walkers built from the same Program
+// (hence the same Params.Seed) produce identical streams, which is what
+// makes per-workload comparisons between prefetchers meaningful.
+type Walker struct {
+	prog *Program
+	rng  *rand.Rand
+	data *dataGen
+
+	fn, blk, idx int
+	stack        []frame
+	count        uint64
+
+	// curSeed is the current frame's deterministic decision stream: a
+	// xorshift64 state derived from (callee, flavor) at dispatch and
+	// from (parent seed, call site) for nested calls. Draws from it
+	// make a request subtree replay identically across visits —
+	// the long-range determinism real instruction streams have.
+	curSeed uint64
+
+	// perm maps power-law rank to function index for indirect calls;
+	// reshuffled every PhaseLen instructions when phases are enabled.
+	perm      []int
+	nextPhase uint64
+}
+
+type frame struct {
+	fn, blk, idx int
+	seed         uint64
+}
+
+// NewWalker creates a walker at the program entry.
+func NewWalker(prog *Program) *Walker {
+	w := &Walker{
+		prog:  prog,
+		rng:   rand.New(rand.NewPCG(prog.Params.Seed, 0x57A1C)),
+		data:  newDataGen(prog.Params),
+		stack: make([]frame, 0, prog.Params.MaxCallDepth+1),
+		perm:  make([]int, len(prog.Funcs)),
+	}
+	for i := range w.perm {
+		w.perm[i] = i
+	}
+	if prog.Params.PhaseLen > 0 {
+		w.nextPhase = prog.Params.PhaseLen
+	}
+	w.curSeed = mix64(prog.Params.Seed ^ 0xD15EA5E)
+	return w
+}
+
+// mix64 is splitmix64's finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rand01 draws the next control decision in [0,1). Inside the driver
+// (the request mix) and for a small PathNoise fraction of decisions it
+// is truly random; otherwise it comes from the frame's deterministic
+// stream.
+func (w *Walker) rand01() float64 {
+	p := &w.prog.Params
+	if w.fn == 0 || w.rng.Float64() < p.PathNoise {
+		return w.rng.Float64()
+	}
+	w.curSeed ^= w.curSeed << 13
+	w.curSeed ^= w.curSeed >> 7
+	w.curSeed ^= w.curSeed << 17
+	return float64(w.curSeed>>11) / (1 << 53)
+}
+
+// Count returns the number of instructions emitted so far.
+func (w *Walker) Count() uint64 { return w.count }
+
+// Depth returns the current call-stack depth.
+func (w *Walker) Depth() int { return len(w.stack) }
+
+// Next implements trace.Source. The stream is unbounded; wrap the
+// walker in a trace.LimitSource to bound a run.
+func (w *Walker) Next(in *trace.Instruction) bool {
+	p := &w.prog.Params
+	if w.nextPhase != 0 && w.count >= w.nextPhase {
+		w.reshufflePhase()
+		w.nextPhase += p.PhaseLen
+	}
+	f := &w.prog.Funcs[w.fn]
+	b := &f.Blocks[w.blk]
+	pc := b.Addr + uint64(w.idx)*InstrSize
+
+	*in = trace.Instruction{PC: pc, Size: InstrSize}
+	w.count++
+
+	if w.idx < b.NInstr-1 {
+		// Body instruction: maybe a memory op, then advance.
+		w.decorateMemOp(in)
+		w.idx++
+		return true
+	}
+
+	// Terminator instruction.
+	switch b.Term {
+	case TermFallthrough:
+		w.decorateMemOp(in)
+		w.advanceBlock(w.blk + 1)
+
+	case TermCond:
+		in.Branch = trace.CondBranch
+		target := &f.Blocks[b.TargetBlock]
+		in.Target = target.Addr
+		if w.rand01() < b.TakenBias {
+			in.Taken = true
+			w.setBlock(w.fn, b.TargetBlock)
+		} else {
+			w.advanceBlock(w.blk + 1)
+		}
+
+	case TermJump:
+		in.Branch = trace.DirectJump
+		in.Taken = true
+		in.Target = f.Blocks[b.TargetBlock].Addr
+		w.setBlock(w.fn, b.TargetBlock)
+
+	case TermCall:
+		w.emitCall(in, b.Callee, trace.DirectCall)
+
+	case TermIndirectCall:
+		// Dynamic target selection through the phase permutation: the
+		// same call site reaches different callees over time, which is
+		// what defeats purely static BTB-directed schemes. Selection is
+		// Zipf-like over the target table (hot head, long tail).
+		skew := w.prog.Params.DispatchSkew
+		if skew < 1 {
+			skew = 1
+		}
+		idx := int(math.Pow(w.rand01(), skew) * float64(len(b.ITargets)))
+		if idx >= len(b.ITargets) {
+			idx = len(b.ITargets) - 1
+		}
+		callee := w.perm[b.ITargets[idx]]
+		w.emitCall(in, callee, trace.IndirectCall)
+
+	case TermReturn:
+		in.Branch = trace.Return
+		in.Taken = true
+		if len(w.stack) > 0 {
+			fr := w.stack[len(w.stack)-1]
+			w.stack = w.stack[:len(w.stack)-1]
+			w.fn, w.blk, w.idx = fr.fn, fr.blk, fr.idx
+			w.curSeed = fr.seed
+			in.Target = w.currentPC()
+		} else {
+			// Stack empty: restart the driver, as a top-level event
+			// loop would.
+			w.setBlock(0, 0)
+			in.Target = w.currentPC()
+		}
+	}
+	return true
+}
+
+// emitCall emits a call terminator and transfers control, respecting
+// the depth cap (at the cap the call is emitted as a plain instruction,
+// i.e. the callee is treated as inlined-away/predicated-off).
+func (w *Walker) emitCall(in *trace.Instruction, callee int, kind trace.BranchType) {
+	if len(w.stack) >= w.prog.Params.MaxCallDepth {
+		w.advanceBlock(w.blk + 1)
+		return
+	}
+	in.Branch = kind
+	in.Taken = true
+	in.Target = w.prog.Funcs[callee].Entry()
+	// Return site: the block after the call, or loop the function if
+	// the call ends it.
+	retBlk, retIdx := w.blk+1, 0
+	if retBlk >= len(w.prog.Funcs[w.fn].Blocks) {
+		retBlk = len(w.prog.Funcs[w.fn].Blocks) - 1
+		retIdx = w.prog.Funcs[w.fn].Blocks[retBlk].NInstr - 1
+	}
+	w.stack = append(w.stack, frame{w.fn, retBlk, retIdx, w.curSeed})
+
+	// The callee's decision stream: a dispatched request picks one of
+	// PathFlavors deterministic variants; a nested call inherits
+	// determinism from its parent and call site.
+	if w.fn == 0 {
+		flavor := uint64(w.rng.IntN(w.prog.Params.PathFlavors))
+		w.curSeed = mix64(uint64(callee)<<8 ^ flavor ^ w.prog.Params.Seed<<1)
+	} else {
+		w.curSeed = mix64(w.curSeed ^ uint64(w.blk)<<32 ^ uint64(callee))
+	}
+	w.setBlock(callee, 0)
+}
+
+func (w *Walker) currentPC() uint64 {
+	b := &w.prog.Funcs[w.fn].Blocks[w.blk]
+	return b.Addr + uint64(w.idx)*InstrSize
+}
+
+// advanceBlock moves to block bi of the current function, returning
+// from the function when bi runs off the end.
+func (w *Walker) advanceBlock(bi int) {
+	if bi >= len(w.prog.Funcs[w.fn].Blocks) {
+		bi = len(w.prog.Funcs[w.fn].Blocks) - 1
+	}
+	w.setBlock(w.fn, bi)
+}
+
+func (w *Walker) setBlock(fn, blk int) {
+	w.fn, w.blk, w.idx = fn, blk, 0
+}
+
+func (w *Walker) decorateMemOp(in *trace.Instruction) {
+	p := &w.prog.Params
+	u := w.rand01()
+	switch {
+	case u < p.LoadFrac:
+		in.IsLoad = true
+		in.DataAddr = w.data.next(w.rng, len(w.stack))
+	case u < p.LoadFrac+p.StoreFrac:
+		in.IsStore = true
+		in.DataAddr = w.data.next(w.rng, len(w.stack))
+	}
+}
+
+// reshufflePhase rotates the indirect-call permutation, shifting the
+// hot set of functions (cloud workloads' phase behaviour).
+func (w *Walker) reshufflePhase() {
+	n := len(w.perm)
+	// Rotate by a random amount and swap a random sample; keeps most
+	// structure while moving the working set.
+	rot := 1 + w.rng.IntN(n-1)
+	rotated := make([]int, n)
+	for i := range w.perm {
+		rotated[i] = w.perm[(i+rot)%n]
+	}
+	copy(w.perm, rotated)
+	for i := 0; i < n/8; i++ {
+		a, b := w.rng.IntN(n), w.rng.IntN(n)
+		w.perm[a], w.perm[b] = w.perm[b], w.perm[a]
+	}
+}
+
+// dataGen synthesizes data addresses: mostly stack-frame reuse (fast
+// L1D hits), a sequential heap stream, and occasional random accesses
+// across the data footprint. The data side only needs to load the
+// backend realistically; no data prefetcher is modelled (the paper
+// evaluates instruction prefetching in isolation).
+type dataGen struct {
+	stackBase  uint64
+	heapBase   uint64
+	heapSize   uint64
+	streamSize uint64
+	streamPos  uint64
+}
+
+func newDataGen(p Params) *dataGen {
+	size := p.DataFootprint
+	if size < 1<<12 {
+		size = 1 << 12
+	}
+	// The sequential stream reuses a hot window that fits in the LLC,
+	// as real working sets do; only the pointer-chase slice touches the
+	// whole footprint. Without this, the stream would cycle-evict the
+	// code from the LLC and every instruction miss would pay a DRAM
+	// round trip, which no real server workload exhibits.
+	stream := size
+	if stream > 1<<19 {
+		stream = 1 << 19
+	}
+	return &dataGen{
+		stackBase:  0x7fff_ffff_0000,
+		heapBase:   0x0000_6000_0000,
+		heapSize:   size,
+		streamSize: stream,
+	}
+}
+
+func (d *dataGen) next(rng *rand.Rand, depth int) uint64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.60:
+		// Stack frame of the current depth: heavy reuse.
+		frame := d.stackBase - uint64(depth)*256
+		return frame - uint64(rng.IntN(240))
+	case u < 0.96:
+		// Sequential heap stream over the hot window.
+		d.streamPos = (d.streamPos + 8 + uint64(rng.IntN(16))) % d.streamSize
+		return d.heapBase + d.streamPos
+	default:
+		// Occasional pointer chase over the footprint.
+		return d.heapBase + uint64(rng.Uint64()%d.heapSize)&^7
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"entangling/internal/trace"
+)
+
+func TestWalkerDepthNeverExceedsCap(t *testing.T) {
+	p := Preset(Srv)
+	p.Seed = 8
+	p.MaxCallDepth = 6
+	prog, err := BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(prog)
+	var in trace.Instruction
+	for i := 0; i < 100_000; i++ {
+		w.Next(&in)
+		if w.Depth() > 6 {
+			t.Fatalf("depth %d exceeds cap at instr %d", w.Depth(), i)
+		}
+	}
+}
+
+func TestDriverDispatchSitesExist(t *testing.T) {
+	for _, c := range []Category{Crypto, Int, FP, Srv, Cloud} {
+		p := Preset(c)
+		p.Seed = 4
+		prog, err := BuildProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driver := prog.Funcs[0]
+		dispatch := 0
+		for _, b := range driver.Blocks {
+			if b.Term == TermIndirectCall {
+				if len(b.ITargets) == 0 {
+					t.Fatalf("%s: dispatch site without targets", c)
+				}
+				dispatch++
+			}
+		}
+		if dispatch == 0 {
+			t.Errorf("%s: driver has no dispatch sites", c)
+		}
+		want := p.DriverFanout
+		if want > p.Functions-1 {
+			want = p.Functions - 1
+		}
+		for _, b := range driver.Blocks {
+			if b.Term == TermIndirectCall && len(b.ITargets) != want {
+				t.Errorf("%s: dispatch fanout %d, want %d", c, len(b.ITargets), want)
+			}
+		}
+	}
+}
+
+func TestDataGenClasses(t *testing.T) {
+	p := Preset(Srv)
+	p.Seed = 12
+	prog, _ := BuildProgram(p)
+	w := NewWalker(prog)
+	var in trace.Instruction
+	var stack, heap int
+	for i := 0; i < 300_000; i++ {
+		w.Next(&in)
+		if !in.IsLoad && !in.IsStore {
+			continue
+		}
+		switch {
+		case in.DataAddr > 0x7000_0000_0000:
+			stack++
+		case in.DataAddr >= 0x6000_0000:
+			heap++
+		default:
+			t.Fatalf("data address %#x in no known region", in.DataAddr)
+		}
+	}
+	if stack == 0 || heap == 0 {
+		t.Errorf("data classes unbalanced: stack=%d heap=%d", stack, heap)
+	}
+	// Stack accesses dominate (the 60% class).
+	if stack < heap {
+		t.Errorf("stack (%d) should outnumber heap (%d)", stack, heap)
+	}
+}
+
+func TestWalkerCountMonotone(t *testing.T) {
+	p := Preset(Crypto)
+	p.Seed = 3
+	prog, _ := BuildProgram(p)
+	w := NewWalker(prog)
+	var in trace.Instruction
+	for i := uint64(1); i <= 10_000; i++ {
+		w.Next(&in)
+		if w.Count() != i {
+			t.Fatalf("Count = %d at step %d", w.Count(), i)
+		}
+	}
+}
+
+func TestSpecNewIndependentStreams(t *testing.T) {
+	specs := CVPSuite(1)
+	a, err := specs[0].New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := specs[0].New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x, y trace.Instruction
+	for i := 0; i < 10_000; i++ {
+		a.Next(&x)
+		b.Next(&y)
+		if x != y {
+			t.Fatal("two walkers from the same spec diverge")
+		}
+	}
+}
+
+func TestVarySeedZeroStillValid(t *testing.T) {
+	p := Vary(Preset(Int), 0)
+	p.Name = "zero"
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(prog)
+	var in trace.Instruction
+	if !w.Next(&in) {
+		t.Fatal("empty stream for seed 0")
+	}
+}
