@@ -6,6 +6,8 @@
 //	entangling-sim -workload srv -seed 3 -prefetcher entangling-4k
 //	entangling-sim -workload cassandra -prefetcher mana-4k -measure 2000000
 //	entangling-sim -workload int -prefetcher ideal -physical
+//	entangling-sim -workload srv -metrics-out run.json
+//	entangling-sim -cpuprofile cpu.pprof -measure 5000000
 //	entangling-sim -list
 package main
 
@@ -13,23 +15,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"entangling"
+	"entangling/internal/harness"
 )
 
 func main() {
 	var (
-		wl      = flag.String("workload", "srv", "workload: crypto|int|fp|srv|cloud or a CloudSuite name (cassandra, cloud9, nutch, streaming)")
-		traceIn = flag.String("trace", "", "run from a trace file (see cmd/tracegen) instead of a synthetic workload")
-		seed    = flag.Uint64("seed", 1, "workload seed (variant selector)")
-		pf      = flag.String("prefetcher", "entangling-4k", `prefetcher configuration, "no", or "ideal"`)
-		warmup  = flag.Uint64("warmup", 2_000_000, "warm-up instructions (discarded)")
-		measure = flag.Uint64("measure", 1_000_000, "measured instructions")
-		phys    = flag.Bool("physical", false, "train hierarchy and prefetcher on physical addresses")
-		l1iWays = flag.Int("l1i-ways", 0, "override L1I associativity (16 = 64KB, 24 = 96KB)")
-		list    = flag.Bool("list", false, "list registered prefetchers and exit")
-		base    = flag.Bool("baseline", true, "also run the no-prefetch baseline for speedup/coverage")
+		wl         = flag.String("workload", "srv", "workload: crypto|int|fp|srv|cloud or a CloudSuite name (cassandra, cloud9, nutch, streaming)")
+		traceIn    = flag.String("trace", "", "run from a trace file (see cmd/tracegen) instead of a synthetic workload")
+		seed       = flag.Uint64("seed", 1, "workload seed (variant selector)")
+		pf         = flag.String("prefetcher", "entangling-4k", `prefetcher configuration, "no", or "ideal"`)
+		warmup     = flag.Uint64("warmup", 2_000_000, "warm-up instructions (discarded)")
+		measure    = flag.Uint64("measure", 1_000_000, "measured instructions")
+		phys       = flag.Bool("physical", false, "train hierarchy and prefetcher on physical addresses")
+		l1iWays    = flag.Int("l1i-ways", 0, "override L1I associativity (16 = 64KB, 24 = 96KB)")
+		list       = flag.Bool("list", false, "list registered prefetchers and exit")
+		base       = flag.Bool("baseline", true, "also run the no-prefetch baseline for speedup/coverage")
+		metricsOut = flag.String("metrics-out", "", "write machine-readable run metrics to this file (.csv for CSV, JSON otherwise)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +46,20 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	cfg := entangling.Configuration{Name: *pf, Physical: *phys, L1IWays: *l1iWays}
@@ -50,36 +72,38 @@ func main() {
 	}
 
 	var (
-		r    entangling.Results
-		err  error
-		name string
+		r        entangling.Results
+		baseline *entangling.Results
+		err      error
+		name     string
+		category string
 	)
 	if *traceIn != "" {
 		name = *traceIn
 		r, err = runTrace(cfg, *traceIn, *warmup, *measure)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		*base = false // no baseline rerun for file traces (reader is single-pass)
 	} else {
 		var spec entangling.WorkloadSpec
 		spec, err = resolveWorkload(*wl, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		name = spec.Name
+		category = string(spec.Params.Category)
 		r, err = entangling.Run(cfg, spec, *warmup, *measure)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		defer func() {
-			if *base && *pf != "no" {
-				printBaseline(spec, r, *phys, *warmup, *measure)
+		if *base && *pf != "no" {
+			b, err := entangling.Run(entangling.Configuration{Name: "no", Physical: *phys}, spec, *warmup, *measure)
+			if err != nil {
+				fatal(err)
 			}
-		}()
+			baseline = &b
+		}
 	}
 
 	fmt.Printf("workload           %s (seed %d)\n", name, *seed)
@@ -93,24 +117,51 @@ func main() {
 	fmt.Printf("prefetches issued  %d\n", r.L1I.PrefetchIssued)
 	fmt.Printf("prefetch accuracy  %.3f\n", r.L1I.Accuracy())
 	fmt.Printf("timely / late      %d / %d\n", r.L1I.TimelyPrefetchHits, r.L1I.LatePrefetches)
+	fmt.Printf("early / inaccurate %d / %d\n", r.Lifecycle.EarlyEvicted, r.Lifecycle.Inaccurate())
+	fmt.Printf("late cycles saved  %d (%.1f/late)\n", r.Lifecycle.LateCyclesSaved, r.Lifecycle.MeanSaved())
+	fmt.Printf("mean lead cycles   %.1f\n", r.Lifecycle.MeanLead())
+	st := r.Stalls
+	fmt.Printf("stall cycles       %d (l1i %d, btb %d, mispredict %d, ftq %d, rob %d)\n",
+		st.Total(), st.L1IMiss, st.BTBMiss, st.Mispredict, st.FTQFull, st.ROBFull)
 	fmt.Printf("cond br accuracy   %.4f\n", r.CondAccuracy)
+	if baseline != nil {
+		cov := 0.0
+		if baseline.L1I.Misses > 0 {
+			cov = 1 - float64(r.L1I.Misses)/float64(baseline.L1I.Misses)
+		}
+		fmt.Printf("baseline IPC       %.4f\n", baseline.IPC)
+		fmt.Printf("speedup            %+.2f%%\n", (r.IPC/baseline.IPC-1)*100)
+		fmt.Printf("coverage           %.3f\n", cov)
+	}
+
+	if *metricsOut != "" {
+		m := harness.SuiteMetrics{SchemaVersion: harness.MetricsSchemaVersion}
+		m.Runs = append(m.Runs, harness.MetricsForRun(cfg.Name, name, category, r, baseline))
+		if baseline != nil {
+			m.Runs = append(m.Runs, harness.MetricsForRun("no", name, category, *baseline, nil))
+		}
+		if err := harness.WriteMetricsFile(*metricsOut, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 }
 
-// printBaseline reruns the workload without prefetching and prints
-// speedup and coverage.
-func printBaseline(spec entangling.WorkloadSpec, r entangling.Results, phys bool, warmup, measure uint64) {
-	b, err := entangling.Run(entangling.Configuration{Name: "no", Physical: phys}, spec, warmup, measure)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	cov := 0.0
-	if b.L1I.Misses > 0 {
-		cov = 1 - float64(r.L1I.Misses)/float64(b.L1I.Misses)
-	}
-	fmt.Printf("baseline IPC       %.4f\n", b.IPC)
-	fmt.Printf("speedup            %+.2f%%\n", (r.IPC/b.IPC-1)*100)
-	fmt.Printf("coverage           %.3f\n", cov)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func resolveWorkload(name string, seed uint64) (entangling.WorkloadSpec, error) {

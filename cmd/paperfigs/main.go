@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "6", "which figure/table: 1,2,6,7,8,9,10,11,12,13,14,15,16,table4,physical,ext,headline,all")
-		perCat  = flag.Int("per-category", 6, "workloads per category in the CVP-like suite")
-		warmup  = flag.Uint64("warmup", 2_000_000, "warm-up instructions per run")
-		measure = flag.Uint64("measure", 1_000_000, "measured instructions per run")
-		points  = flag.Int("points", 11, "resampled points for the sorted-curve figures")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		jsonDir = flag.String("json", "", "also write each table as JSON into this directory")
+		fig        = flag.String("fig", "6", "which figure/table: 1,2,6,7,8,9,10,11,12,13,14,15,16,table4,physical,ext,headline,quality,all")
+		perCat     = flag.Int("per-category", 6, "workloads per category in the CVP-like suite")
+		warmup     = flag.Uint64("warmup", 2_000_000, "warm-up instructions per run")
+		measure    = flag.Uint64("measure", 1_000_000, "measured instructions per run")
+		points     = flag.Int("points", 11, "resampled points for the sorted-curve figures")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonDir    = flag.String("json", "", "also write each table as JSON into this directory")
+		metricsOut = flag.String("metrics-out", "", "write the main sweep's per-run metrics to this file (.csv for CSV, JSON otherwise)")
 	)
 	flag.Parse()
 
@@ -82,8 +83,10 @@ func main() {
 		emit(t, "02")
 	}
 
-	// The main sweep feeds Figures 6-10 and Table IV.
-	needMain := all || want["6"] || want["7"] || want["8"] || want["9"] || want["10"] || want["table4"] || want["headline"]
+	// The main sweep feeds Figures 6-10, Table IV, the quality table
+	// and the metrics export.
+	needMain := all || want["6"] || want["7"] || want["8"] || want["9"] || want["10"] ||
+		want["table4"] || want["headline"] || want["quality"] || *metricsOut != ""
 	if needMain {
 		fmt.Fprintf(os.Stderr, "running main sweep: %d workloads x %d configurations...\n",
 			len(specs), len(harness.StandardConfigurations()))
@@ -111,6 +114,15 @@ func main() {
 		}
 		if all || want["headline"] {
 			emit(harness.Headline(suite), "headline")
+		}
+		if all || want["quality"] {
+			emit(harness.QualityTable(suite), "quality")
+		}
+		if *metricsOut != "" {
+			if err := harness.WriteMetricsFile(*metricsOut, suite.Metrics()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(metrics written to %s)\n\n", *metricsOut)
 		}
 	}
 

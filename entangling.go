@@ -28,6 +28,7 @@ import (
 	"entangling/internal/energy"
 	"entangling/internal/harness"
 	"entangling/internal/prefetch"
+	"entangling/internal/stats"
 	"entangling/internal/trace"
 	"entangling/internal/workload"
 )
@@ -51,6 +52,15 @@ type (
 
 	// Results holds one run's measurements.
 	Results = cpu.Results
+	// PrefetchLifecycle breaks prefetches down by fate (timely / late /
+	// early-evicted / inaccurate); Results.Lifecycle carries one.
+	PrefetchLifecycle = stats.PrefetchLifecycle
+	// StallBreakdown attributes front-end stall cycles to causes;
+	// Results.Stalls carries one.
+	StallBreakdown = stats.StallBreakdown
+	// PrefetchFeedback is the lifecycle feedback (late/useless) the
+	// simulator routes back to prefetchers implementing FeedbackSink.
+	PrefetchFeedback = prefetch.Feedback
 
 	// WorkloadSpec names a synthetic workload and its parameters.
 	WorkloadSpec = workload.Spec
@@ -68,6 +78,10 @@ type (
 	SuiteResults = harness.SuiteResults
 	// Table is a rendered figure/table (text and CSV).
 	Table = harness.Table
+	// RunMetrics / SuiteMetrics form the machine-readable metrics
+	// export schema (see EXPERIMENTS.md, "Metrics export").
+	RunMetrics   = harness.RunMetrics
+	SuiteMetrics = harness.SuiteMetrics
 
 	// EnergyModel prices cache accesses (Table IV).
 	EnergyModel = energy.Model
@@ -159,6 +173,10 @@ func DefaultEnergyModel() EnergyModel { return energy.Default22nm() }
 // Figure and table reproductions (see DESIGN.md for the experiment
 // index). The suite passed in must have been produced by RunSuite with
 // the appropriate configurations.
+// QualityTable renders the per-configuration prefetch-lifecycle and
+// stall-attribution summary of a sweep.
+var QualityTable = harness.QualityTable
+
 var (
 	Fig06   = harness.Fig06
 	Fig07   = harness.Fig07

@@ -35,6 +35,13 @@ type AccessEvent struct {
 	// Meta is the prefetcher metadata carried by the line (hits) or
 	// the MSHR entry (merged misses). Zero otherwise.
 	Meta uint64
+	// IssueCycle and ReadyCycle describe the matched in-flight request
+	// on MSHR merges (MSHRHit): when it was issued and when its fill
+	// completes. Cycle-IssueCycle is the latency a late prefetch
+	// already covered; ReadyCycle-Cycle is what it failed to hide.
+	// Both are zero when MSHRHit is false.
+	IssueCycle uint64
+	ReadyCycle uint64
 }
 
 // FillEvent describes a line installing into the L1I.
@@ -391,6 +398,8 @@ func (c *ICache) DemandAccess(now uint64, lineAddr uint64) uint64 {
 			MSHRHit:      true,
 			LatePrefetch: e.isPrefetch && !e.accessBit,
 			Meta:         e.meta,
+			IssueCycle:   e.issueCycle,
+			ReadyCycle:   e.readyCycle,
 		}
 		if ev.LatePrefetch {
 			c.stats.LatePrefetches++

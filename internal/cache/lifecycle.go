@@ -1,0 +1,167 @@
+package cache
+
+import "entangling/internal/stats"
+
+// This file implements the prefetch-lifecycle tracker: a pure observer
+// of the L1I event stream that classifies every prefetch by its fate
+// (timely / late / early-evicted / inaccurate) and feeds late/useless
+// outcomes back to the prefetcher, so adaptive policies (degree or
+// distance throttling) have a hardware-plausible signal to work with.
+// The tracker never influences simulated timing.
+
+// PrefetchFeedbackKind distinguishes lifecycle feedback events.
+type PrefetchFeedbackKind uint8
+
+const (
+	// FeedbackLate: a demand arrived while the prefetch was in flight;
+	// Cycles is the latency the prefetch failed to hide.
+	FeedbackLate PrefetchFeedbackKind = iota
+	// FeedbackUseless: the prefetched line was evicted without serving
+	// a demand access; Cycles is the time it sat resident.
+	FeedbackUseless
+)
+
+// PrefetchFeedback is one lifecycle outcome delivered to the
+// prefetcher that issued the request.
+type PrefetchFeedback struct {
+	Kind     PrefetchFeedbackKind
+	LineAddr uint64
+	// Meta is the opaque metadata the prefetcher attached to the
+	// request.
+	Meta uint64
+	// Cycles quantifies the outcome (see the Kind constants).
+	Cycles uint64
+}
+
+// FeedbackSink receives prefetch lifecycle feedback. Prefetchers
+// implement it (prefetch.Base provides a no-op) to observe their own
+// late and useless prefetches.
+type FeedbackSink interface {
+	OnPrefetchFeedback(PrefetchFeedback)
+}
+
+// trackedEvictCap bounds the evicted-unused set the tracker keeps for
+// early-vs-inaccurate classification. Entries dropped at the cap count
+// as inaccurate, which is the conservative direction.
+const trackedEvictCap = 1 << 15
+
+// LifecycleTracker is a cache.Listener that maintains the
+// PrefetchLifecycle breakdown and a fill-to-use lead histogram.
+type LifecycleTracker struct {
+	lc   stats.PrefetchLifecycle
+	lead *stats.Histogram
+	sink FeedbackSink
+
+	// fills maps resident, not-yet-used prefetched lines to their fill
+	// cycle (bounded by cache capacity).
+	fills map[uint64]uint64
+	// evicted holds prefetched lines evicted unused; a later demand to
+	// one of them reclassifies it from inaccurate to early-evicted.
+	// ring evicts the oldest entry once the cap is reached.
+	evicted map[uint64]struct{}
+	ring    []uint64
+	ringPos int
+}
+
+// NewLifecycleTracker builds a tracker. sink may be nil.
+func NewLifecycleTracker(sink FeedbackSink) *LifecycleTracker {
+	return &LifecycleTracker{
+		// 512 one-cycle buckets cover the fill-to-use leads the DRAM
+		// latency can produce; longer leads land in the overflow.
+		lead:    stats.NewHistogram(0, 511),
+		sink:    sink,
+		fills:   make(map[uint64]uint64),
+		evicted: make(map[uint64]struct{}),
+	}
+}
+
+// Lifecycle returns the current counter block (copy).
+func (t *LifecycleTracker) Lifecycle() stats.PrefetchLifecycle { return t.lc }
+
+// LeadHistogram exposes the fill-to-first-use lead distribution of
+// timely prefetches (cycles).
+func (t *LifecycleTracker) LeadHistogram() *stats.Histogram { return t.lead }
+
+// OnAccess implements Listener.
+func (t *LifecycleTracker) OnAccess(e AccessEvent) {
+	// A demand for a line we saw evicted unused: the prefetch was
+	// early, not wrong.
+	if _, ok := t.evicted[e.LineAddr]; ok {
+		delete(t.evicted, e.LineAddr)
+		t.lc.EarlyEvicted++
+	}
+	switch {
+	case e.Hit && e.FirstUse:
+		t.lc.Timely++
+		if fillCycle, ok := t.fills[e.LineAddr]; ok {
+			lead := e.Cycle - fillCycle
+			t.lc.LeadCycles += lead
+			t.lead.Add(int(lead))
+			delete(t.fills, e.LineAddr)
+		}
+	case e.MSHRHit && e.LatePrefetch:
+		t.lc.Late++
+		if e.Cycle >= e.IssueCycle {
+			t.lc.LateCyclesSaved += e.Cycle - e.IssueCycle
+		}
+		var short uint64
+		if e.ReadyCycle > e.Cycle {
+			short = e.ReadyCycle - e.Cycle
+		}
+		t.lc.LateCyclesShort += short
+		if t.sink != nil {
+			t.sink.OnPrefetchFeedback(PrefetchFeedback{
+				Kind:     FeedbackLate,
+				LineAddr: e.LineAddr,
+				Meta:     e.Meta,
+				Cycles:   short,
+			})
+		}
+	}
+}
+
+// OnFill implements Listener.
+func (t *LifecycleTracker) OnFill(e FillEvent) {
+	if e.WasPrefetch && !e.Demanded {
+		t.fills[e.LineAddr] = e.Cycle
+	}
+}
+
+// OnEvict implements Listener.
+func (t *LifecycleTracker) OnEvict(e EvictEvent) {
+	fillCycle, hadFill := t.fills[e.LineAddr]
+	delete(t.fills, e.LineAddr)
+	if !e.Prefetched || e.Accessed {
+		return
+	}
+	t.lc.EvictedUnused++
+	t.remember(e.LineAddr)
+	if t.sink != nil {
+		var resident uint64
+		if hadFill && e.Cycle > fillCycle {
+			resident = e.Cycle - fillCycle
+		}
+		t.sink.OnPrefetchFeedback(PrefetchFeedback{
+			Kind:     FeedbackUseless,
+			LineAddr: e.LineAddr,
+			Meta:     e.Meta,
+			Cycles:   resident,
+		})
+	}
+}
+
+// remember adds line to the evicted-unused set, displacing the oldest
+// entry at capacity.
+func (t *LifecycleTracker) remember(line uint64) {
+	if _, ok := t.evicted[line]; ok {
+		return
+	}
+	if len(t.ring) < trackedEvictCap {
+		t.ring = append(t.ring, line)
+	} else {
+		delete(t.evicted, t.ring[t.ringPos])
+		t.ring[t.ringPos] = line
+		t.ringPos = (t.ringPos + 1) % trackedEvictCap
+	}
+	t.evicted[line] = struct{}{}
+}

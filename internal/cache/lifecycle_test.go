@@ -1,0 +1,146 @@
+package cache
+
+import "testing"
+
+// feedbackRecorder captures lifecycle feedback for assertions.
+type feedbackRecorder struct {
+	events []PrefetchFeedback
+}
+
+func (f *feedbackRecorder) OnPrefetchFeedback(fb PrefetchFeedback) {
+	f.events = append(f.events, fb)
+}
+
+func TestLifecycleTimelyLead(t *testing.T) {
+	tr := NewLifecycleTracker(nil)
+	tr.OnFill(FillEvent{Cycle: 100, LineAddr: 7, WasPrefetch: true, Demanded: false})
+	tr.OnAccess(AccessEvent{Cycle: 140, LineAddr: 7, Hit: true, WasPrefetched: true, FirstUse: true})
+	lc := tr.Lifecycle()
+	if lc.Timely != 1 || lc.LeadCycles != 40 {
+		t.Errorf("timely=%d lead=%d, want 1/40", lc.Timely, lc.LeadCycles)
+	}
+	if tr.LeadHistogram().Total() != 1 || tr.LeadHistogram().Buckets[40] != 1 {
+		t.Error("lead histogram not recorded at 40")
+	}
+	// A repeat hit (not FirstUse) must not double-count.
+	tr.OnAccess(AccessEvent{Cycle: 150, LineAddr: 7, Hit: true, WasPrefetched: true, FirstUse: false})
+	if tr.Lifecycle().Timely != 1 {
+		t.Error("non-first-use hit counted as timely")
+	}
+}
+
+func TestLifecycleLateSavedShortAndFeedback(t *testing.T) {
+	sink := &feedbackRecorder{}
+	tr := NewLifecycleTracker(sink)
+	// Prefetch issued at 100, fill ready at 300; demand arrives at 250:
+	// 150 cycles of latency were hidden, 50 remained exposed.
+	tr.OnAccess(AccessEvent{
+		Cycle: 250, LineAddr: 9, MSHRHit: true, LatePrefetch: true,
+		IssueCycle: 100, ReadyCycle: 300, Meta: 42,
+	})
+	lc := tr.Lifecycle()
+	if lc.Late != 1 || lc.LateCyclesSaved != 150 || lc.LateCyclesShort != 50 {
+		t.Errorf("late=%d saved=%d short=%d, want 1/150/50", lc.Late, lc.LateCyclesSaved, lc.LateCyclesShort)
+	}
+	if len(sink.events) != 1 {
+		t.Fatalf("feedback events = %d, want 1", len(sink.events))
+	}
+	fb := sink.events[0]
+	if fb.Kind != FeedbackLate || fb.LineAddr != 9 || fb.Meta != 42 || fb.Cycles != 50 {
+		t.Errorf("late feedback = %+v", fb)
+	}
+}
+
+func TestLifecycleEarlyVsInaccurate(t *testing.T) {
+	sink := &feedbackRecorder{}
+	tr := NewLifecycleTracker(sink)
+	// Two prefetched lines filled, both evicted unused.
+	tr.OnFill(FillEvent{Cycle: 10, LineAddr: 1, WasPrefetch: true})
+	tr.OnFill(FillEvent{Cycle: 10, LineAddr: 2, WasPrefetch: true})
+	tr.OnEvict(EvictEvent{Cycle: 60, LineAddr: 1, Prefetched: true, Accessed: false})
+	tr.OnEvict(EvictEvent{Cycle: 60, LineAddr: 2, Prefetched: true, Accessed: false})
+	// Line 1 is demanded again later: early, not inaccurate.
+	tr.OnAccess(AccessEvent{Cycle: 100, LineAddr: 1})
+	lc := tr.Lifecycle()
+	if lc.EvictedUnused != 2 || lc.EarlyEvicted != 1 || lc.Inaccurate() != 1 {
+		t.Errorf("evicted=%d early=%d inaccurate=%d, want 2/1/1",
+			lc.EvictedUnused, lc.EarlyEvicted, lc.Inaccurate())
+	}
+	// A second demand to the same line must not count early twice.
+	tr.OnAccess(AccessEvent{Cycle: 110, LineAddr: 1})
+	if tr.Lifecycle().EarlyEvicted != 1 {
+		t.Error("redemand counted early twice")
+	}
+	// Useless feedback carried the residency time.
+	if len(sink.events) != 2 || sink.events[0].Kind != FeedbackUseless || sink.events[0].Cycles != 50 {
+		t.Errorf("useless feedback = %+v", sink.events)
+	}
+	// Demand-accessed evictions are not part of the breakdown.
+	tr.OnEvict(EvictEvent{Cycle: 200, LineAddr: 3, Prefetched: true, Accessed: true})
+	if tr.Lifecycle().EvictedUnused != 2 {
+		t.Error("accessed eviction counted as unused")
+	}
+}
+
+func TestLifecycleEvictedSetBounded(t *testing.T) {
+	tr := NewLifecycleTracker(nil)
+	for i := uint64(0); i < trackedEvictCap+100; i++ {
+		tr.OnEvict(EvictEvent{Cycle: i, LineAddr: i, Prefetched: true, Accessed: false})
+	}
+	if len(tr.evicted) > trackedEvictCap || len(tr.ring) > trackedEvictCap {
+		t.Fatalf("evicted set unbounded: %d / %d", len(tr.evicted), len(tr.ring))
+	}
+	// The oldest entries were displaced; a redemand of one of them is
+	// (conservatively) no longer counted as early.
+	tr.OnAccess(AccessEvent{Cycle: 1 << 20, LineAddr: 0})
+	if tr.Lifecycle().EarlyEvicted != 0 {
+		t.Error("displaced entry still tracked")
+	}
+	// A recent one still is.
+	tr.OnAccess(AccessEvent{Cycle: 1 << 20, LineAddr: trackedEvictCap + 99})
+	if tr.Lifecycle().EarlyEvicted != 1 {
+		t.Error("recent entry lost")
+	}
+}
+
+// TestLifecycleAgainstICache drives a real ICache with the tracker as
+// listener and cross-checks tracker counters against the cache's own.
+func TestLifecycleAgainstICache(t *testing.T) {
+	tr := NewLifecycleTracker(nil)
+	next := &fixedLevel{latency: 100}
+	c := NewICache(ICacheConfig{Sets: 4, Ways: 2, Latency: 4, MSHRs: 4, PQSize: 8, PQIssuePerCycle: 2}, next, tr)
+
+	// Timely: prefetch line 5, let it fill, demand it.
+	c.Prefetch(0, 5, 0)
+	c.AdvanceTo(500)
+	c.DemandAccess(600, 5)
+	// Late: prefetch line 6 and demand it while in flight.
+	c.Prefetch(600, 6, 0)
+	c.AdvanceTo(610)
+	c.DemandAccess(620, 6)
+	// Unused: prefetch lines that conflict-evict each other in set 0
+	// (sets=4, so lines 8, 16, 24 share a set with 2 ways).
+	for _, l := range []uint64{8, 16, 24} {
+		c.Prefetch(700, l, 0)
+		c.AdvanceTo(900)
+	}
+	c.AdvanceTo(2000)
+
+	lc := tr.Lifecycle()
+	st := c.Stats()
+	if lc.Timely != st.TimelyPrefetchHits {
+		t.Errorf("tracker timely %d != cache %d", lc.Timely, st.TimelyPrefetchHits)
+	}
+	if lc.Late != st.LatePrefetches {
+		t.Errorf("tracker late %d != cache %d", lc.Late, st.LatePrefetches)
+	}
+	if lc.EvictedUnused != st.WrongPrefetches {
+		t.Errorf("tracker evicted-unused %d != cache wrong %d", lc.EvictedUnused, st.WrongPrefetches)
+	}
+	if lc.Timely != 1 || lc.Late != 1 {
+		t.Errorf("timely=%d late=%d, want 1/1", lc.Timely, lc.Late)
+	}
+	if lc.LateCyclesSaved == 0 {
+		t.Error("late prefetch saved no cycles")
+	}
+}

@@ -163,6 +163,11 @@ type Stats struct {
 	AliasHits uint64
 	// Relocations counts enhanced-FIFO payload relocations.
 	Relocations uint64
+	// FeedbackLate / FeedbackUseless count lifecycle feedback events
+	// received from the simulator's prefetch tracker (late prefetches
+	// and unused evictions of our own requests).
+	FeedbackLate    uint64
+	FeedbackUseless uint64
 }
 
 // Entangling is the prefetcher. It implements prefetch.Prefetcher.
@@ -527,6 +532,19 @@ func (e *Entangling) OnFill(ev cache.FillEvent) {
 func (e *Entangling) OnEvict(ev cache.EvictEvent) {
 	if ev.Prefetched && !ev.Accessed {
 		e.updateConfidence(ev.Meta, ev.LineAddr, -1)
+	}
+}
+
+// OnPrefetchFeedback implements prefetch.FeedbackSink: Entangling
+// counts late and useless outcomes of its own prefetches. (Confidence
+// already throttles via OnEvict/OnAccess; these counters expose the
+// timeliness signal a distance-adaptive variant would consume.)
+func (e *Entangling) OnPrefetchFeedback(fb prefetch.Feedback) {
+	switch fb.Kind {
+	case prefetch.FeedbackLate:
+		e.stats.FeedbackLate++
+	case prefetch.FeedbackUseless:
+		e.stats.FeedbackUseless++
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"entangling/internal/bpred"
 	"entangling/internal/cache"
 	"entangling/internal/prefetch"
+	"entangling/internal/stats"
 	"entangling/internal/trace"
 )
 
@@ -117,6 +118,14 @@ type Results struct {
 	// FetchBlocks is the number of fetch blocks formed (L1I demand
 	// accesses issued by the front-end).
 	FetchBlocks uint64
+
+	// Lifecycle breaks prefetches down by fate (timely / late /
+	// early-evicted / inaccurate) with the cycles late prefetches
+	// still saved.
+	Lifecycle stats.PrefetchLifecycle
+	// Stalls attributes front-end and dispatch stall cycles to their
+	// causes; Stalls.Total() is the complete attributed count.
+	Stalls stats.StallBreakdown
 }
 
 // L1IMPKI returns L1I demand misses per kilo-instruction.
@@ -139,14 +148,20 @@ func (r *Results) L1IHitRate() float64 {
 type Machine struct {
 	cfg Config
 
-	icache *cache.ICache
-	l1d    *cache.TimingCache
-	l2     *cache.TimingCache
-	llc    *cache.TimingCache
-	dram   *cache.DRAM
-	pred   *bpred.Predictor
-	pf     prefetch.Prefetcher
-	trans  cache.Translator
+	icache  *cache.ICache
+	l1d     *cache.TimingCache
+	l2      *cache.TimingCache
+	llc     *cache.TimingCache
+	dram    *cache.DRAM
+	pred    *bpred.Predictor
+	pf      prefetch.Prefetcher
+	trans   cache.Translator
+	tracker *cache.LifecycleTracker
+
+	// stalls accumulates cycle attribution; redirectFromBTB records
+	// the cause of the pending redirect for bucketing.
+	stalls          stats.StallBreakdown
+	redirectFromBTB bool
 
 	// Front-end cycle trackers.
 	nextPredict uint64
@@ -205,7 +220,12 @@ func New(cfg Config) *Machine {
 	} else {
 		m.pf = prefetch.NewNone(m.icache)
 	}
-	var listener cache.Listener = listenerAdapter{m.pf}
+	// The lifecycle tracker observes every L1I event after the
+	// prefetcher and routes late/useless feedback back to it when the
+	// prefetcher cares (implements cache.FeedbackSink).
+	sink, _ := m.pf.(cache.FeedbackSink)
+	m.tracker = cache.NewLifecycleTracker(sink)
+	var listener cache.Listener = teeListener{a: listenerAdapter{m.pf}, b: m.tracker}
 	if cfg.ExtraL1IListener != nil {
 		listener = teeListener{a: listener, b: cfg.ExtraL1IListener}
 	}
@@ -223,6 +243,10 @@ func New(cfg Config) *Machine {
 // Prefetcher exposes the active prefetcher (for per-prefetcher stats
 // such as Entangling's compression histograms).
 func (m *Machine) Prefetcher() prefetch.Prefetcher { return m.pf }
+
+// LeadHistogram exposes the fill-to-first-use lead distribution of
+// timely prefetches over the whole run (warmup included).
+func (m *Machine) LeadHistogram() *stats.Histogram { return m.tracker.LeadHistogram() }
 
 // fetchLine maps an instruction byte address to the line address the
 // hierarchy operates on.
@@ -245,6 +269,8 @@ type snapshot struct {
 	blocks            uint64
 	instrs            uint64
 	cycle             uint64
+	lifecycle         stats.PrefetchLifecycle
+	stalls            stats.StallBreakdown
 }
 
 func (m *Machine) snap() snapshot {
@@ -261,6 +287,8 @@ func (m *Machine) snap() snapshot {
 		blocks:         m.blocks,
 		instrs:         m.instrIdx,
 		cycle:          m.lastRetire,
+		lifecycle:      m.tracker.Lifecycle(),
+		stalls:         m.stalls,
 	}
 }
 
@@ -298,11 +326,18 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 			// A new fetch block enters the FTQ.
 			predictCycle := m.nextPredict
 			if m.redirect > predictCycle {
+				// Redirect stall: attribute to the stage that caught it.
+				if m.redirectFromBTB {
+					m.stalls.BTBMiss += m.redirect - predictCycle
+				} else {
+					m.stalls.Mispredict += m.redirect - predictCycle
+				}
 				predictCycle = m.redirect
 			}
 			// FTQ backpressure: the prediction engine may run at most
 			// FTQDepth blocks ahead of fetch.
 			if backCap := m.ftqRing[m.blockIdx%uint64(m.cfg.FTQDepth)]; backCap > predictCycle {
+				m.stalls.FTQFull += backCap - predictCycle
 				predictCycle = backCap
 			}
 			m.nextPredict = predictCycle + 1
@@ -312,9 +347,19 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 			lineReady := m.icache.DemandAccess(predictCycle, m.fetchLine(in.PC))
 			m.blocks++
 
+			// Fetch waits for the line beyond the earliest cycle a hit
+			// would have allowed: that delay is L1I-induced (misses,
+			// late prefetches, MSHR backpressure).
+			noMissStart := m.nextFetch
+			if hitReady := predictCycle + m.cfg.L1I.Latency; hitReady > noMissStart {
+				noMissStart = hitReady
+			}
 			fetchStart = m.nextFetch
 			if lineReady > fetchStart {
 				fetchStart = lineReady
+			}
+			if fetchStart > noMissStart {
+				m.stalls.L1IMiss += fetchStart - noMissStart
 			}
 			m.ftqRing[m.blockIdx%uint64(m.cfg.FTQDepth)] = fetchStart
 			m.blockIdx++
@@ -331,6 +376,7 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 		// Dispatch: front-end depth plus ROB backpressure.
 		dispatch := fetchCycle + m.cfg.FrontDepth
 		if prev := m.robRing[m.instrIdx%uint64(m.cfg.ROBSize)]; prev > dispatch {
+			m.stalls.ROBFull += prev - dispatch
 			dispatch = prev
 		}
 
@@ -370,13 +416,16 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 			if out.Redirect() {
 				m.redirects++
 				var r uint64
+				fromBTB := false
 				if out.DirMispredict || out.TargetMispredict {
 					r = execDone + m.cfg.MispredictPenalty
 				} else { // BTB miss: caught at decode
 					r = fetchCycle + m.cfg.BTBMissPenalty
+					fromBTB = true
 				}
 				if r > m.redirect {
 					m.redirect = r
+					m.redirectFromBTB = fromBTB
 				}
 				forceBlock = true
 			}
@@ -424,6 +473,8 @@ func (m *Machine) resultsSince(s snapshot) Results {
 		BTBMisses:      m.pred.BTBMisses - s.btbMisses,
 		Redirects:      m.redirects - s.redirects,
 		FetchBlocks:    m.blocks - s.blocks,
+		Lifecycle:      m.tracker.Lifecycle().Sub(s.lifecycle),
+		Stalls:         m.stalls.Sub(s.stalls),
 	}
 	if lookups := m.pred.CondLookups - s.condLookups; lookups > 0 {
 		res.CondAccuracy = 1 - float64(m.pred.DirMispredicts-s.dirMispredicts)/float64(lookups)

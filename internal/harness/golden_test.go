@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"entangling/internal/workload"
+)
+
+// goldenMetrics runs a fixed tiny sweep and serializes its metrics.
+func goldenMetrics(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	specs := workload.CVPSuite(1)
+	cfgs := []Configuration{
+		Baseline,
+		{Name: "nextline", Prefetcher: "nextline"},
+		{Name: "djolt", Prefetcher: "djolt"},
+		{Name: "entangling-2k", Prefetcher: "entangling-2k"},
+	}
+	opt := tinyOptions()
+	opt.Parallelism = parallelism
+	s, err := RunSuite(specs, cfgs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, s.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenDeterminism: the full metrics export — IPC, lifecycle
+// fates, stall attribution, everything — must be byte-identical across
+// repeated runs and across worker counts. This is the strongest
+// statement the repo can make that simulation results do not depend on
+// goroutine scheduling.
+func TestGoldenDeterminism(t *testing.T) {
+	serial := goldenMetrics(t, 1)
+	again := goldenMetrics(t, 1)
+	if !bytes.Equal(serial, again) {
+		t.Fatal("serial run not reproducible with itself")
+	}
+	wide := goldenMetrics(t, 8)
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("Parallelism 1 vs 8 metrics differ: scheduling leaked into results")
+	}
+}
+
+// TestRunSuiteCollectsAllErrors: a sweep where several configurations
+// fail must report every failure, not just the first (the error channel
+// used to drop all but one).
+func TestRunSuiteCollectsAllErrors(t *testing.T) {
+	specs := workload.CVPSuite(1)[:1]
+	cfgs := []Configuration{
+		{Name: "bogus-a", Prefetcher: "no-such-prefetcher-a"},
+		{Name: "bogus-b", Prefetcher: "no-such-prefetcher-b"},
+	}
+	_, err := RunSuite(specs, cfgs, tinyOptions())
+	if err == nil {
+		t.Fatal("RunSuite succeeded with unknown prefetchers")
+	}
+	msg := err.Error()
+	for _, want := range []string{"no-such-prefetcher-a", "no-such-prefetcher-b"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error dropped a failure; missing %q in:\n%s", want, msg)
+		}
+	}
+	if !strings.Contains(msg, "2 of 2 runs failed") {
+		t.Errorf("error lacks failure count: %s", msg)
+	}
+}
+
+// TestRunSuiteErrorDeterministic: the aggregated error message must not
+// depend on which worker hit its failure first.
+func TestRunSuiteErrorDeterministic(t *testing.T) {
+	specs := workload.CVPSuite(1)[:2]
+	cfgs := []Configuration{
+		{Name: "bogus-a", Prefetcher: "no-such-prefetcher-a"},
+		{Name: "bogus-b", Prefetcher: "no-such-prefetcher-b"},
+	}
+	opt := tinyOptions()
+	opt.Parallelism = 4
+	_, err1 := RunSuite(specs, cfgs, opt)
+	_, err2 := RunSuite(specs, cfgs, opt)
+	if err1 == nil || err2 == nil {
+		t.Fatal("expected failures")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("error message depends on scheduling:\n%s\nvs\n%s", err1, err2)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -36,7 +37,14 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 	}
 	jobs := make(chan job)
 	results := make(chan RunResult, 8)
-	errs := make(chan error, 1)
+
+	// Every worker error is collected (not just the first): a sweep
+	// that fails on several configurations reports them all, and no
+	// in-flight error is silently dropped.
+	var (
+		errMu   sync.Mutex
+		runErrs []error
+	)
 
 	workers := opt.Parallelism
 	if workers < 1 {
@@ -50,10 +58,9 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 			for j := range jobs {
 				r, err := Run(j.cfg, j.spec, opt.Warmup, opt.Measure, nil, nil)
 				if err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
+					errMu.Lock()
+					runErrs = append(runErrs, err)
+					errMu.Unlock()
 					continue
 				}
 				results <- r
@@ -73,10 +80,14 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 	for r := range results {
 		out.Runs[r.Config][r.Workload] = r
 	}
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	if len(runErrs) > 0 {
+		// Worker scheduling is nondeterministic; sort so the combined
+		// error reads the same across runs and parallelism settings.
+		sort.Slice(runErrs, func(i, j int) bool {
+			return runErrs[i].Error() < runErrs[j].Error()
+		})
+		return nil, fmt.Errorf("harness: %d of %d runs failed: %w",
+			len(runErrs), len(cfgs)*len(specs), errors.Join(runErrs...))
 	}
 	return out, nil
 }
@@ -208,6 +219,51 @@ func (s *SuiteResults) Categories() []workload.Category {
 		cats[i] = workload.Category(c)
 	}
 	return cats
+}
+
+// TimelyFractions returns, per workload, the fraction of cfg's
+// prefetch fills that served a demand fully ahead of need.
+func (s *SuiteResults) TimelyFractions(cfg string) []float64 {
+	return s.lifecycleFractions(cfg, func(r RunResult) uint64 { return r.R.Lifecycle.Timely })
+}
+
+// LateFractions returns, per workload, the fraction of cfg's prefetch
+// fills a demand caught in flight (partial latency hidden).
+func (s *SuiteResults) LateFractions(cfg string) []float64 {
+	return s.lifecycleFractions(cfg, func(r RunResult) uint64 { return r.R.Lifecycle.Late })
+}
+
+// InaccurateFractions returns, per workload, the fraction of cfg's
+// prefetch fills evicted unused and never demanded again.
+func (s *SuiteResults) InaccurateFractions(cfg string) []float64 {
+	return s.lifecycleFractions(cfg, func(r RunResult) uint64 { return r.R.Lifecycle.Inaccurate() })
+}
+
+func (s *SuiteResults) lifecycleFractions(cfg string, num func(RunResult) uint64) []float64 {
+	var out []float64
+	for _, wl := range s.WorkloadOrder {
+		r, ok := s.Runs[cfg][wl]
+		if !ok || r.R.L1I.PrefetchFills == 0 {
+			continue
+		}
+		out = append(out, float64(num(r))/float64(r.R.L1I.PrefetchFills))
+	}
+	return out
+}
+
+// L1IStallShares returns, per workload, the share of attributed stall
+// cycles the L1I is responsible for under cfg — the top-down number a
+// prefetcher exists to shrink.
+func (s *SuiteResults) L1IStallShares(cfg string) []float64 {
+	var out []float64
+	for _, wl := range s.WorkloadOrder {
+		r, ok := s.Runs[cfg][wl]
+		if !ok || r.R.Stalls.Total() == 0 {
+			continue
+		}
+		out = append(out, float64(r.R.Stalls.L1IMiss)/float64(r.R.Stalls.Total()))
+	}
+	return out
 }
 
 // Validate checks the sweep is complete (every config ran every

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"entangling/internal/stats"
 )
 
 // Table is a rendered experiment result: the textual equivalent of one
@@ -101,6 +103,50 @@ func max(a, b int) int {
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// QualityTable renders the per-configuration prefetch-quality columns
+// of the lifecycle layer: beyond coverage/accuracy, the breakdown the
+// paper's timeliness argument rests on (how many prefetches were fully
+// timely, how many a demand caught in flight and how much latency
+// those still hid, and how many were early or outright wrong), plus
+// the share of attributed stall cycles the L1I is responsible for.
+func QualityTable(s *SuiteResults) *Table {
+	t := &Table{
+		Title: "Prefetch quality: lifecycle breakdown and stall attribution",
+		Header: []string{"configuration", "speedup", "coverage", "accuracy",
+			"timely", "late", "early", "inaccurate", "saved/late", "L1I stall share"},
+		Note: "timely/late/early/inaccurate are fractions of prefetch fills; saved/late is mean cycles a late prefetch still hid",
+	}
+	for _, cfg := range s.ConfigOrder {
+		if cfg == "no" {
+			continue
+		}
+		var lc stats.PrefetchLifecycle
+		var fills uint64
+		for _, wl := range s.WorkloadOrder {
+			if r, ok := s.Runs[cfg][wl]; ok {
+				l := r.R.Lifecycle
+				lc.Timely += l.Timely
+				lc.Late += l.Late
+				lc.EvictedUnused += l.EvictedUnused
+				lc.EarlyEvicted += l.EarlyEvicted
+				lc.LateCyclesSaved += l.LateCyclesSaved
+				fills += r.R.L1I.PrefetchFills
+			}
+		}
+		frac := func(n uint64) string {
+			return pct(stats.Ratio(float64(n), float64(fills)))
+		}
+		t.AddRow(cfg,
+			fmt.Sprintf("%+.2f%%", (s.GeomeanSpeedup(cfg)-1)*100),
+			pct(stats.Mean(s.Coverage(cfg))),
+			pct(stats.Mean(s.Accuracy(cfg))),
+			frac(lc.Timely), frac(lc.Late), frac(lc.EarlyEvicted), frac(lc.Inaccurate()),
+			f2(lc.MeanSaved()),
+			pct(stats.Mean(s.L1IStallShares(cfg))))
+	}
+	return t
+}
 
 // JSON renders the table as a JSON object with title, header, rows and
 // note, for downstream tooling.

@@ -1,0 +1,190 @@
+package prefetch
+
+import (
+	"fmt"
+	"testing"
+
+	"entangling/internal/cache"
+	"entangling/internal/trace"
+)
+
+// maxBurstDegree bounds how many prefetches one hook invocation may
+// emit. Real front-ends issue a handful of lines per trigger; anything
+// beyond this is a runaway loop, not a degree choice.
+const maxBurstDegree = 128
+
+// burstRecorder is an Issuer that groups requests into per-hook-call
+// bursts so conformance invariants can be checked per trigger.
+type burstRecorder struct {
+	bursts [][]uint64
+	cur    []uint64
+	all    []uint64
+}
+
+func (r *burstRecorder) Prefetch(notBefore uint64, line uint64, meta uint64) bool {
+	r.cur = append(r.cur, line)
+	r.all = append(r.all, line)
+	return true
+}
+
+// mark closes the current burst (called after every hook invocation).
+func (r *burstRecorder) mark() {
+	if len(r.cur) > 0 {
+		r.bursts = append(r.bursts, r.cur)
+		r.cur = nil
+	}
+}
+
+// conformanceStream drives p through a deterministic synthetic
+// instruction stream: sequential runs, a hot call/return pair, and a
+// periodic far discontinuity — enough structure for every baseline
+// (next-line, SN4L, Markov, record-replay, RAS-based) to train and
+// issue. Fill and evict events echo the issued prefetches back, and
+// every hook call is followed by a burst mark. Returns the highest
+// line the stream itself touched.
+func conformanceStream(p Prefetcher, r *burstRecorder) uint64 {
+	const base = uint64(1) << 20
+	maxLine := uint64(0)
+	touch := func(cycle, line uint64, hit bool) {
+		if line > maxLine {
+			maxLine = line
+		}
+		p.OnAccess(cache.AccessEvent{Cycle: cycle, LineAddr: line, Hit: hit})
+		r.mark()
+		if !hit {
+			p.OnFill(cache.FillEvent{Cycle: cycle + 30, LineAddr: line, IssueCycle: cycle, Demanded: true})
+			r.mark()
+		}
+	}
+	branch := func(cycle, pc uint64, ty trace.BranchType, target uint64) {
+		p.OnBranch(BranchEvent{Cycle: cycle, PC: pc, Type: ty, Taken: true, Target: target})
+		r.mark()
+	}
+
+	cycle := uint64(0)
+	// Two identical passes so history-based prefetchers see repetition.
+	for pass := 0; pass < 2; pass++ {
+		for blk := uint64(0); blk < 8; blk++ {
+			runStart := base + blk*64
+			// A sequential run of 6 lines, all missing on pass 0.
+			for i := uint64(0); i < 6; i++ {
+				cycle += 4
+				touch(cycle, runStart+i, pass > 0)
+			}
+			// Call into a shared callee region and return.
+			callee := base + 4096
+			branch(cycle, (runStart+5)<<6, trace.DirectCall, callee<<6)
+			for i := uint64(0); i < 3; i++ {
+				cycle += 4
+				touch(cycle, callee+i, pass > 0)
+			}
+			branch(cycle, (callee+2)<<6, trace.Return, (runStart+5)<<6)
+			// Far discontinuity to the next block.
+			branch(cycle, (runStart+5)<<6, trace.DirectJump, (runStart+64)<<6)
+		}
+	}
+	// Evict a few lines so eviction-driven bookkeeping runs too.
+	for i := uint64(0); i < 4; i++ {
+		p.OnEvict(cache.EvictEvent{Cycle: cycle + i, LineAddr: base + i, Prefetched: true, Accessed: true})
+		r.mark()
+	}
+	return maxLine
+}
+
+func TestPrefetcherConformance(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r := &burstRecorder{}
+			p, err := New(name, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Name() == "" {
+				t.Error("empty Name()")
+			}
+			maxLine := conformanceStream(p, r)
+			r.mark()
+
+			if name == "no" {
+				if len(r.all) != 0 {
+					t.Fatalf("the null prefetcher issued %d prefetches", len(r.all))
+				}
+				return
+			}
+
+			for bi, burst := range r.bursts {
+				if len(burst) > maxBurstDegree {
+					t.Fatalf("burst %d issued %d prefetches (> %d): unbounded degree",
+						bi, len(burst), maxBurstDegree)
+				}
+				seen := map[uint64]bool{}
+				for _, line := range burst {
+					if seen[line] {
+						t.Errorf("burst %d issued duplicate line %#x", bi, line)
+					}
+					seen[line] = true
+				}
+			}
+			// Issued lines must be derived from the observed stream:
+			// nothing below the address base, nothing beyond the highest
+			// touched line plus a small next-N slack.
+			const slack = 64
+			lo, hi := uint64(1)<<20, maxLine+slack
+			for _, line := range r.all {
+				if line < lo || line > hi {
+					t.Errorf("prefetched line %#x outside plausible window [%#x, %#x]", line, lo, hi)
+				}
+			}
+			if p.StorageBits() > 8*1024*1024*8 {
+				t.Errorf("StorageBits %d implausibly large (>8MB)", p.StorageBits())
+			}
+		})
+	}
+}
+
+// TestPrefetcherConformanceDeterministic: two fresh instances fed the
+// identical stream must issue the identical request sequence.
+func TestPrefetcherConformanceDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			seq := func() []uint64 {
+				r := &burstRecorder{}
+				p, err := New(name, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				conformanceStream(p, r)
+				return r.all
+			}
+			a, b := seq(), seq()
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("nondeterministic issue sequence:\n a=%v\n b=%v", a, b)
+			}
+		})
+	}
+}
+
+// TestPrefetcherIssuesOnTrainedStream: every non-null baseline must
+// actually prefetch something on a stream this regular — a prefetcher
+// that never fires would silently degrade every comparison figure.
+func TestPrefetcherIssuesOnTrainedStream(t *testing.T) {
+	for _, name := range Names() {
+		if name == "no" {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r := &burstRecorder{}
+			p, err := New(name, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conformanceStream(p, r)
+			if len(r.all) == 0 {
+				t.Fatalf("%s issued no prefetches on a repetitive sequential stream", name)
+			}
+		})
+	}
+}

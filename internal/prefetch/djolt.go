@@ -22,6 +22,16 @@ type DJolt struct {
 
 	// callHist is the rolling call/return context the signatures hash.
 	callHist []uint64
+
+	// burst dedupes lines within one trigger: the two ranges and
+	// adjacent footprints overlap, and the PQ would reject the repeat
+	// anyway — skipping it here saves the wasted tag probe.
+	burst map[uint64]bool
+
+	// Lifecycle feedback counters (observability; a throttling policy
+	// can key off these without new plumbing).
+	FeedbackLate    uint64
+	FeedbackUseless uint64
 }
 
 // sigTable is a signature-indexed miss table shared by the two ranges.
@@ -112,17 +122,24 @@ func (t *sigTable) train(sig uint64, line uint64) {
 	e.triggers[len(e.triggers)-1] = rdipTrigger{line: line}
 }
 
-func (t *sigTable) prefetch(issuer Issuer, cycle uint64, sig uint64) {
+func (t *sigTable) prefetch(issuer Issuer, cycle uint64, sig uint64, seen map[uint64]bool) {
 	e := t.lookup(sig)
 	if e == nil {
 		return
 	}
+	issue := func(line uint64) {
+		if seen[line] {
+			return
+		}
+		seen[line] = true
+		issuer.Prefetch(cycle, line, 0)
+	}
 	for i := 0; i < e.n; i++ {
 		tr := e.triggers[i]
-		issuer.Prefetch(cycle, tr.line, 0)
+		issue(tr.line)
 		for b := uint64(0); b < 8; b++ {
 			if tr.footprint&(1<<b) != 0 {
-				issuer.Prefetch(cycle, tr.line+b+1, 0)
+				issue(tr.line + b + 1)
 			}
 		}
 	}
@@ -154,8 +171,13 @@ func (p *DJolt) OnBranch(ev BranchEvent) {
 	default:
 		return
 	}
-	p.short.prefetch(p.issuer, ev.Cycle, p.short.signature(p.callHist))
-	p.long.prefetch(p.issuer, ev.Cycle, p.long.signature(p.callHist))
+	if p.burst == nil {
+		p.burst = make(map[uint64]bool, 32)
+	} else {
+		clear(p.burst)
+	}
+	p.short.prefetch(p.issuer, ev.Cycle, p.short.signature(p.callHist), p.burst)
+	p.long.prefetch(p.issuer, ev.Cycle, p.long.signature(p.callHist), p.burst)
 }
 
 // OnAccess implements Prefetcher: a fall-through next-line component
@@ -173,6 +195,17 @@ func (p *DJolt) OnAccess(ev cache.AccessEvent) {
 	if len(p.callHist) > 4 {
 		// The long-range context as of 4 events ago.
 		p.long.train(p.long.signature(p.callHist[:len(p.callHist)-4]), ev.LineAddr)
+	}
+}
+
+// OnPrefetchFeedback implements FeedbackSink: D-JOLT records how many
+// of its prefetches arrived late or went unused.
+func (p *DJolt) OnPrefetchFeedback(fb Feedback) {
+	switch fb.Kind {
+	case FeedbackLate:
+		p.FeedbackLate++
+	case FeedbackUseless:
+		p.FeedbackUseless++
 	}
 }
 

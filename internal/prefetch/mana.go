@@ -26,6 +26,9 @@ type MANA struct {
 
 	curTrigger uint64
 	haveRegion bool
+
+	// walk dedupes lines within one chain walk (see OnAccess).
+	walk map[uint64]bool
 }
 
 type manaEntry struct {
@@ -120,6 +123,21 @@ func (p *MANA) OnAccess(ev cache.AccessEvent) {
 	p.haveRegion = true
 	p.ensure(line)
 
+	// Walk the chain. Successor pointers can form short cycles
+	// (A→B→A), so dedupe lines within the walk — the PQ would reject
+	// the repeats anyway, this just skips the wasted probes.
+	if p.walk == nil {
+		p.walk = make(map[uint64]bool, 4*regionSpan)
+	} else {
+		clear(p.walk)
+	}
+	issue := func(l uint64) {
+		if p.walk[l] {
+			return
+		}
+		p.walk[l] = true
+		p.issuer.Prefetch(ev.Cycle, l, 0)
+	}
 	t := line
 	for depth := 0; depth < p.Lookahead; depth++ {
 		e := p.lookup(t)
@@ -127,11 +145,11 @@ func (p *MANA) OnAccess(ev cache.AccessEvent) {
 			break
 		}
 		if depth > 0 {
-			p.issuer.Prefetch(ev.Cycle, t, 0)
+			issue(t)
 		}
 		for i := uint64(0); i < regionSpan; i++ {
 			if e.footprint&(1<<i) != 0 {
-				p.issuer.Prefetch(ev.Cycle, t+i+1, 0)
+				issue(t + i + 1)
 			}
 		}
 		if !e.hasNext {

@@ -37,6 +37,22 @@ type BranchEvent struct {
 	Target uint64
 }
 
+// Feedback is one prefetch lifecycle outcome (late or useless)
+// delivered back to the prefetcher that issued the request, carrying
+// the request's opaque metadata. The CPU's lifecycle tracker generates
+// it; prefetchers can use it for degree/distance throttling.
+type Feedback = cache.PrefetchFeedback
+
+// Feedback kinds.
+const (
+	FeedbackLate    = cache.FeedbackLate
+	FeedbackUseless = cache.FeedbackUseless
+)
+
+// FeedbackSink receives lifecycle feedback. Base implements it as a
+// no-op, so every prefetcher embedding Base is automatically wired.
+type FeedbackSink = cache.FeedbackSink
+
 // Prefetcher is an L1I prefetcher. OnAccess/OnFill/OnEvict mirror
 // cache.Listener; the CPU wires the L1I's event stream straight into
 // the active prefetcher.
@@ -117,6 +133,9 @@ func (b *Base) OnEvict(cache.EvictEvent) {}
 
 // OnBranch implements Prefetcher as a no-op.
 func (b *Base) OnBranch(BranchEvent) {}
+
+// OnPrefetchFeedback implements FeedbackSink as a no-op.
+func (b *Base) OnPrefetchFeedback(Feedback) {}
 
 // None is the no-prefetching baseline configuration.
 type None struct{ Base }
