@@ -85,6 +85,11 @@ type Predictor struct {
 
 	btb     []btbEntry // BTBSets * BTBWays
 	btbTick uint64
+	// Index masks derived from cfg at construction; btbSetMask is
+	// BTBSets-1 when BTBSets is a power of two (0 selects the slow
+	// modulo path).
+	gshareMask, bimodalMask, chooserMask uint64
+	histMask, itcMask, btbSetMask        uint64
 
 	ras    []uint64
 	rasTop int // number of valid entries (capped, wraps by overwrite)
@@ -137,6 +142,14 @@ func New(cfg Config) *Predictor {
 		btb:     make([]btbEntry, cfg.BTBSets*cfg.BTBWays),
 		ras:     make([]uint64, cfg.RASSize),
 		itc:     make([]uint64, 1<<cfg.ITCBits),
+	}
+	p.gshareMask = uint64(1)<<cfg.GshareBits - 1
+	p.bimodalMask = uint64(1)<<cfg.BimodalBits - 1
+	p.chooserMask = uint64(1)<<cfg.ChooserBits - 1
+	p.histMask = uint64(1)<<cfg.HistoryBits - 1
+	p.itcMask = uint64(1)<<cfg.ITCBits - 1
+	if cfg.BTBSets&(cfg.BTBSets-1) == 0 {
+		p.btbSetMask = uint64(cfg.BTBSets - 1)
 	}
 	// Weakly initialize counters to "weakly taken/weakly use gshare".
 	for i := range p.gshare {
@@ -273,27 +286,32 @@ func boolBit(b bool) uint64 {
 }
 
 func (p *Predictor) gshareIndex(pc uint64) uint64 {
-	mask := uint64(1)<<p.cfg.GshareBits - 1
-	hist := p.ghr & (uint64(1)<<p.cfg.HistoryBits - 1)
-	return ((pc >> 2) ^ hist) & mask
+	return ((pc >> 2) ^ (p.ghr & p.histMask)) & p.gshareMask
 }
 
 func (p *Predictor) bimodalIndex(pc uint64) uint64 {
-	return (pc >> 2) & (uint64(1)<<p.cfg.BimodalBits - 1)
+	return (pc >> 2) & p.bimodalMask
 }
 
 func (p *Predictor) chooserIndex(pc uint64) uint64 {
-	return (pc >> 2) & (uint64(1)<<p.cfg.ChooserBits - 1)
+	return (pc >> 2) & p.chooserMask
 }
 
 func (p *Predictor) itcIndex(pc uint64) uint64 {
-	return ((pc >> 2) ^ p.path) & (uint64(1)<<p.cfg.ITCBits - 1)
+	return ((pc >> 2) ^ p.path) & p.itcMask
+}
+
+// btbSet returns the BTB set index for pc.
+func (p *Predictor) btbSet(pc uint64) uint64 {
+	if p.btbSetMask != 0 || p.cfg.BTBSets == 1 {
+		return (pc >> 2) & p.btbSetMask
+	}
+	return (pc >> 2) % uint64(p.cfg.BTBSets)
 }
 
 // btbLookup returns the stored target for pc, if present.
 func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
-	set := (pc >> 2) % uint64(p.cfg.BTBSets)
-	base := int(set) * p.cfg.BTBWays
+	base := int(p.btbSet(pc)) * p.cfg.BTBWays
 	for i := 0; i < p.cfg.BTBWays; i++ {
 		e := &p.btb[base+i]
 		if e.valid && e.tag == pc {
@@ -307,8 +325,7 @@ func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
 
 // btbInsert records pc -> target, evicting LRU on conflict.
 func (p *Predictor) btbInsert(pc, target uint64) {
-	set := (pc >> 2) % uint64(p.cfg.BTBSets)
-	base := int(set) * p.cfg.BTBWays
+	base := int(p.btbSet(pc)) * p.cfg.BTBWays
 	victim := base
 	for i := 0; i < p.cfg.BTBWays; i++ {
 		e := &p.btb[base+i]

@@ -23,8 +23,8 @@ func (f *fixedLevel) Access(now uint64, lineAddr uint64, prefetch bool) uint64 {
 func TestArrayLRU(t *testing.T) {
 	a := newArray(1, 2)
 	install := func(addr uint64) {
-		v := a.victim(addr)
-		*v = line{tag: addr, valid: true}
+		v, vidx := a.victim(addr)
+		a.install(vidx, line{tag: addr, valid: true})
 		a.touch(v)
 	}
 	install(1)
@@ -42,10 +42,10 @@ func TestArrayLRU(t *testing.T) {
 
 func TestArrayVictimPrefersInvalid(t *testing.T) {
 	a := newArray(1, 4)
-	v := a.victim(7)
-	*v = line{tag: 7, valid: true}
+	v, vidx := a.victim(7)
+	a.install(vidx, line{tag: 7, valid: true})
 	a.touch(v)
-	if got := a.victim(8); got.valid {
+	if got, _ := a.victim(8); got.valid {
 		t.Error("victim chose a valid line while invalid ways exist")
 	}
 }

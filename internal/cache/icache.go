@@ -126,10 +126,20 @@ type ICache struct {
 	stats    Stats
 
 	mshr []mshrEntry
-	pq   []pqEntry
+	// pq is a fixed-capacity ring buffer (the paper's 32-entry PQ):
+	// pqHead indexes the oldest entry and pqLen counts occupancy. A ring
+	// keeps the steady-state loop allocation-free, where popping via
+	// re-slicing would shed capacity and force append to reallocate.
+	pq     []pqEntry
+	pqHead int
+	pqLen  int
 
 	now           uint64
 	nextIssueSlot uint64
+	// nextFill is the earliest readyCycle among valid MSHR entries
+	// (^0 when none), so AdvanceTo can skip the fill scan on the many
+	// calls where no outstanding fill can have completed yet.
+	nextFill uint64
 }
 
 // NewICache builds the L1I over next. listener may be nil.
@@ -149,7 +159,8 @@ func NewICache(cfg ICacheConfig, next Level, listener Listener) *ICache {
 		next:     next,
 		listener: listener,
 		mshr:     make([]mshrEntry, cfg.MSHRs),
-		pq:       make([]pqEntry, 0, cfg.PQSize),
+		pq:       make([]pqEntry, cfg.PQSize),
+		nextFill: ^uint64(0),
 	}
 }
 
@@ -175,23 +186,33 @@ func (c *ICache) AdvanceTo(now uint64) {
 	c.now = now
 	for {
 		progress := false
-		// Apply completed fills in time order.
-		for {
-			idx := -1
+		// Apply completed fills in time order. The nextFill watermark
+		// skips the scan when no outstanding fill can be due yet.
+		if c.nextFill <= now {
+			for {
+				idx := -1
+				for i := range c.mshr {
+					e := &c.mshr[i]
+					if e.valid && e.readyCycle <= now && (idx < 0 || e.readyCycle < c.mshr[idx].readyCycle) {
+						idx = i
+					}
+				}
+				if idx < 0 {
+					break
+				}
+				c.applyFill(idx)
+				progress = true
+			}
+			next := ^uint64(0)
 			for i := range c.mshr {
-				e := &c.mshr[i]
-				if e.valid && e.readyCycle <= now && (idx < 0 || e.readyCycle < c.mshr[idx].readyCycle) {
-					idx = i
+				if c.mshr[i].valid && c.mshr[i].readyCycle < next {
+					next = c.mshr[i].readyCycle
 				}
 			}
-			if idx < 0 {
-				break
-			}
-			c.applyFill(idx)
-			progress = true
+			c.nextFill = next
 		}
 		// Drain the prefetch queue as far as time and MSHRs allow.
-		if c.drainPQ(now) {
+		if c.pqLen > 0 && c.drainPQ(now) {
 			progress = true
 		}
 		if !progress {
@@ -205,17 +226,17 @@ func (c *ICache) applyFill(idx int) {
 	e := c.mshr[idx]
 	c.mshr[idx].valid = false
 
-	v := c.arr.victim(e.lineAddr)
+	v, vidx := c.arr.victim(e.lineAddr)
 	if v.valid {
 		c.evict(e.readyCycle, v)
 	}
-	*v = line{
+	c.arr.install(vidx, line{
 		tag:        e.lineAddr,
 		valid:      true,
 		prefetched: e.isPrefetch,
 		accessed:   e.accessBit,
 		meta:       e.meta,
-	}
+	})
 	c.arr.touch(v)
 	c.stats.Fills++
 	c.stats.Writes++
@@ -259,8 +280,8 @@ func (c *ICache) drainPQ(now uint64) bool {
 	if c.cfg.PQIssuePerCycle > 1 {
 		interval = 0 // multiple per cycle approximated as back-to-back
 	}
-	for len(c.pq) > 0 {
-		head := c.pq[0]
+	for c.pqLen > 0 {
+		head := c.pq[c.pqHead]
 		t := head.readyToIssue
 		if t < c.nextIssueSlot {
 			t = c.nextIssueSlot
@@ -272,7 +293,7 @@ func (c *ICache) drainPQ(now uint64) bool {
 		c.stats.TagProbes++
 		if l := c.arr.lookup(head.lineAddr); l != nil {
 			c.stats.PrefetchDroppedHit++
-			c.pq = c.pq[1:]
+			c.popPQ()
 			c.nextIssueSlot = t + interval
 			progress = true
 			continue
@@ -280,7 +301,7 @@ func (c *ICache) drainPQ(now uint64) bool {
 		// Drop if it matches an in-flight request.
 		if c.findMSHR(head.lineAddr) >= 0 {
 			c.stats.PrefetchDroppedMSHR++
-			c.pq = c.pq[1:]
+			c.popPQ()
 			c.nextIssueSlot = t + interval
 			progress = true
 			continue
@@ -299,12 +320,24 @@ func (c *ICache) drainPQ(now uint64) bool {
 			valid:      true,
 			isPrefetch: true,
 		}
+		if ready < c.nextFill {
+			c.nextFill = ready
+		}
 		c.stats.PrefetchIssued++
-		c.pq = c.pq[1:]
+		c.popPQ()
 		c.nextIssueSlot = t + interval
 		progress = true
 	}
 	return progress
+}
+
+// popPQ removes the oldest prefetch-queue entry.
+func (c *ICache) popPQ() {
+	c.pqHead++
+	if c.pqHead == len(c.pq) {
+		c.pqHead = 0
+	}
+	c.pqLen--
 }
 
 func (c *ICache) findMSHR(lineAddr uint64) int {
@@ -376,11 +409,11 @@ func (c *ICache) DemandAccess(now uint64, lineAddr uint64) uint64 {
 		c.stats.Hits++
 		c.stats.Reads++
 		c.next.Access(now+c.cfg.Latency, lineAddr, false)
-		v := c.arr.victim(lineAddr)
+		v, vidx := c.arr.victim(lineAddr)
 		if v.valid {
 			c.evict(now, v)
 		}
-		*v = line{tag: lineAddr, valid: true, accessed: true}
+		c.arr.install(vidx, line{tag: lineAddr, valid: true, accessed: true})
 		c.arr.touch(v)
 		c.stats.Fills++
 		return now + c.cfg.Latency
@@ -436,6 +469,9 @@ func (c *ICache) DemandAccess(now uint64, lineAddr uint64) uint64 {
 		valid:      true,
 		accessBit:  true,
 	}
+	if ready < c.nextFill {
+		c.nextFill = ready
+	}
 	if c.listener != nil {
 		c.listener.OnAccess(AccessEvent{Cycle: now, LineAddr: lineAddr})
 	}
@@ -461,21 +497,30 @@ func (c *ICache) Prefetch(notBefore uint64, lineAddr uint64, meta uint64) bool {
 		c.stats.PrefetchDroppedMSHR++
 		return true
 	}
-	for i := range c.pq {
+	for k := 0; k < c.pqLen; k++ {
+		i := c.pqHead + k
+		if i >= len(c.pq) {
+			i -= len(c.pq)
+		}
 		if c.pq[i].lineAddr == lineAddr {
 			return true // already queued
 		}
 	}
-	if len(c.pq) >= c.cfg.PQSize {
+	if c.pqLen >= c.cfg.PQSize {
 		c.stats.PrefetchDroppedPQ++
 		return false
 	}
 	if notBefore < c.now {
 		notBefore = c.now
 	}
-	c.pq = append(c.pq, pqEntry{lineAddr: lineAddr, meta: meta, readyToIssue: notBefore})
+	tail := c.pqHead + c.pqLen
+	if tail >= len(c.pq) {
+		tail -= len(c.pq)
+	}
+	c.pq[tail] = pqEntry{lineAddr: lineAddr, meta: meta, readyToIssue: notBefore}
+	c.pqLen++
 	return true
 }
 
 // PQLen returns the current prefetch-queue occupancy (test helper).
-func (c *ICache) PQLen() int { return len(c.pq) }
+func (c *ICache) PQLen() int { return c.pqLen }

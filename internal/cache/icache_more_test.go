@@ -129,15 +129,39 @@ func pendingPrefetchMSHRs(c *ICache) int {
 	return n
 }
 
-func TestTimingCachePruneInflight(t *testing.T) {
+func TestTimingCacheInflightFill(t *testing.T) {
 	mem := &fixedLevel{latency: 10}
 	l2 := NewTimingCache(TimingConfig{Sets: 4096, Ways: 2, Latency: 1}, mem)
-	// Create many in-flight entries over distinct lines with large time
-	// gaps so pruning kicks in.
-	for i := uint64(0); i < 3000; i++ {
-		l2.Access(i*100, i, false)
+
+	// Miss at t=0: tag installs immediately, data arrives at 0+1+10=11.
+	ready := l2.Access(0, 42, false)
+	if ready != 12 {
+		t.Fatalf("miss ready = %d, want 12", ready)
 	}
-	if len(l2.inflight) >= 3000 {
-		t.Errorf("inflight map never pruned: %d entries", len(l2.inflight))
+	if l := l2.arr.lookup(42); l == nil || l.fillReady != 11 {
+		t.Fatalf("installed line should carry fillReady=11, got %+v", l)
+	}
+
+	// Re-access at t=5 while the fill is still in flight: this is a tag
+	// hit that must merge with the fill, not complete at hit latency.
+	ready = l2.Access(5, 42, false)
+	if ready != 12 {
+		t.Errorf("in-flight hit ready = %d, want 12", ready)
+	}
+	if l2.stats.MSHRMerges != 1 {
+		t.Errorf("MSHRMerges = %d, want 1", l2.stats.MSHRMerges)
+	}
+
+	// Access after the fill has landed: plain hit, and the in-flight
+	// marker is cleared so later hits skip the merge path.
+	ready = l2.Access(20, 42, false)
+	if ready != 21 {
+		t.Errorf("post-fill hit ready = %d, want 21", ready)
+	}
+	if l := l2.arr.lookup(42); l == nil || l.fillReady != 0 {
+		t.Errorf("fillReady should clear once the fill lands, got %+v", l)
+	}
+	if l2.stats.MSHRMerges != 1 {
+		t.Errorf("post-fill hit counted as merge: MSHRMerges = %d", l2.stats.MSHRMerges)
 	}
 }

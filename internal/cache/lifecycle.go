@@ -85,10 +85,14 @@ func (t *LifecycleTracker) LeadHistogram() *stats.Histogram { return t.lead }
 // OnAccess implements Listener.
 func (t *LifecycleTracker) OnAccess(e AccessEvent) {
 	// A demand for a line we saw evicted unused: the prefetch was
-	// early, not wrong.
-	if _, ok := t.evicted[e.LineAddr]; ok {
-		delete(t.evicted, e.LineAddr)
-		t.lc.EarlyEvicted++
+	// early, not wrong. The length guard keeps configurations that
+	// never prefetch (or haven't evicted one unused yet) from paying a
+	// map probe on every access.
+	if len(t.evicted) != 0 {
+		if _, ok := t.evicted[e.LineAddr]; ok {
+			delete(t.evicted, e.LineAddr)
+			t.lc.EarlyEvicted++
+		}
 	}
 	switch {
 	case e.Hit && e.FirstUse:

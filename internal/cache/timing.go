@@ -18,23 +18,152 @@ type TimingConfig struct {
 	ServiceInterval uint64
 }
 
+// tline is one way of a TimingCache set. The tag and the valid bit
+// live in the tarray's side-array; the struct carries only what the
+// timing model needs per line, so the big L2/LLC arrays cost 16 bytes
+// per way to construct and scan.
+type tline struct {
+	lru uint64
+	// fillReady, when non-zero, is the cycle the line's data arrives
+	// (tags install at access time; the data may still be in flight).
+	// Storing it in the line replaces a lineAddr-keyed map on the
+	// hottest simulation path.
+	fillReady uint64
+}
+
+// tarray is the TimingCache's set-associative LRU array. Unlike the
+// L1I's array, its tags are unique within a set (installs happen only
+// after a failed lookup), which licenses two accelerations that would
+// change first-match semantics on arrays with duplicates:
+//
+//   - a per-set hint remembers the last hit way, skipping the scan
+//     entirely for repeated tags;
+//   - a scan hit transposes the line one way toward the front, so
+//     alternating hot lines cluster in the first ways and the scans
+//     the hint cannot capture stay short.
+//
+// Both are invisible to simulated behaviour: eviction is decided by
+// the unique lru stamps, and installs always take the leftmost free
+// way (valid lines form a contiguous prefix that transposition never
+// breaks).
+type tarray struct {
+	sets, ways int
+	// setMask is sets-1 when sets is a power of two (every shipped
+	// config); index selection is then a mask instead of a divide.
+	setMask uint64
+	lines   []tline
+	// tags[i] is the tag of way i plus one, or 0 while the way is
+	// empty — the zero value works, so a fresh array needs no
+	// initialization pass.
+	tags []uint64
+	tick uint64
+	// hint holds, per set, 1+the way of the last lookupOrVictim hit
+	// (0 = no hint).
+	hint []int32
+}
+
+func newTArray(sets, ways int) *tarray {
+	if sets <= 0 || ways <= 0 {
+		panic("cache: array needs positive sets and ways")
+	}
+	a := &tarray{
+		sets: sets, ways: ways,
+		lines: make([]tline, sets*ways),
+		tags:  make([]uint64, sets*ways),
+		hint:  make([]int32, sets),
+	}
+	if sets&(sets-1) == 0 {
+		a.setMask = uint64(sets - 1)
+	}
+	return a
+}
+
+func (a *tarray) setIndex(lineAddr uint64) int {
+	if a.setMask != 0 || a.sets == 1 {
+		return int(lineAddr & a.setMask)
+	}
+	return int(lineAddr % uint64(a.sets))
+}
+
+// lookup returns the line holding lineAddr, or nil (plain scan; used
+// off the hot path by Contains and tests).
+func (a *tarray) lookup(lineAddr uint64) *tline {
+	base := a.setIndex(lineAddr) * a.ways
+	tags := a.tags[base : base+a.ways]
+	want := lineAddr + 1
+	for i, t := range tags {
+		if t == want {
+			return &a.lines[base+i]
+		}
+	}
+	return nil
+}
+
+// lookupOrVictim resolves a hit line or, on miss, the index of the
+// replacement way (an empty way if any, otherwise the LRU way). The
+// common paths only ever touch the 8-byte tag side-array.
+func (a *tarray) lookupOrVictim(lineAddr uint64) (hit *tline, vidx int) {
+	s := a.setIndex(lineAddr)
+	base := s * a.ways
+	tags := a.tags[base : base+a.ways]
+	want := lineAddr + 1
+	if h := a.hint[s]; h != 0 && tags[h-1] == want {
+		return &a.lines[base+int(h)-1], 0
+	}
+	invalid := -1
+	for i, t := range tags {
+		if t == want {
+			if i > 0 {
+				a.lines[base+i], a.lines[base+i-1] = a.lines[base+i-1], a.lines[base+i]
+				tags[i], tags[i-1] = tags[i-1], tags[i]
+				a.hint[s] = int32(i)
+				return &a.lines[base+i-1], 0
+			}
+			a.hint[s] = 1
+			return &a.lines[base], 0
+		}
+		if t == 0 && invalid < 0 {
+			invalid = i
+		}
+	}
+	if invalid >= 0 {
+		return nil, base + invalid
+	}
+	// Full set: fall back to an LRU scan over the structs.
+	set := a.lines[base : base+a.ways]
+	vi := 0
+	for i := range set {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	return nil, base + vi
+}
+
+// touch marks a line most-recently used.
+func (a *tarray) touch(l *tline) {
+	a.tick++
+	l.lru = a.tick
+}
+
+// install replaces the way at idx (as reported by lookupOrVictim).
+func (a *tarray) install(idx int, lineAddr, fillReady uint64) {
+	a.tags[idx] = lineAddr + 1
+	a.lines[idx] = tline{fillReady: fillReady}
+}
+
 // TimingCache is a non-L1I cache level (L1D, L2, LLC): it models
 // hit/miss timing, bandwidth contention and in-flight fills, but does
 // not carry prefetcher metadata. State (tags) updates at access time;
-// an in-flight table keeps latency honest for accesses that race an
-// ongoing fill.
+// the per-line fillReady keeps latency honest for accesses that race
+// an ongoing fill.
 type TimingCache struct {
 	cfg   TimingConfig
-	arr   *array
+	arr   *tarray
 	next  Level
 	stats Stats
 
 	busyUntil uint64
-	// inflight maps lineAddr -> fill-ready cycle for lines whose tags
-	// are already installed but whose data is still arriving.
-	inflight map[uint64]uint64
-	// sweep is advanced lazily to prune inflight.
-	lastPrune uint64
 }
 
 // NewTimingCache builds a level backed by next.
@@ -43,10 +172,9 @@ func NewTimingCache(cfg TimingConfig, next Level) *TimingCache {
 		panic("cache: TimingCache needs a next level")
 	}
 	return &TimingCache{
-		cfg:      cfg,
-		arr:      newArray(cfg.Sets, cfg.Ways),
-		next:     next,
-		inflight: make(map[uint64]uint64),
+		cfg:  cfg,
+		arr:  newTArray(cfg.Sets, cfg.Ways),
+		next: next,
 	}
 }
 
@@ -71,20 +199,21 @@ func (c *TimingCache) Access(now uint64, lineAddr uint64, prefetch bool) uint64 
 	}
 	c.busyUntil = start + c.cfg.ServiceInterval
 
-	if l := c.arr.lookup(lineAddr); l != nil {
+	l, vidx := c.arr.lookupOrVictim(lineAddr)
+	if l != nil {
 		c.arr.touch(l)
 		c.stats.Hits++
 		c.stats.Reads++
 		ready := start + c.cfg.Latency
-		if fillReady, ok := c.inflight[lineAddr]; ok {
-			if fillReady > now {
+		if l.fillReady != 0 {
+			if l.fillReady > now {
 				// Data still in flight from the earlier miss.
 				c.stats.MSHRMerges++
-				if fillReady+c.cfg.Latency > ready {
-					ready = fillReady + c.cfg.Latency
+				if l.fillReady+c.cfg.Latency > ready {
+					ready = l.fillReady + c.cfg.Latency
 				}
 			} else {
-				delete(c.inflight, lineAddr)
+				l.fillReady = 0
 			}
 		}
 		return ready
@@ -93,33 +222,16 @@ func (c *TimingCache) Access(now uint64, lineAddr uint64, prefetch bool) uint64 
 	c.stats.Misses++
 	fillReady := c.next.Access(start+c.cfg.Latency, lineAddr, prefetch)
 
-	// Install the tag now; remember the true data-arrival time.
-	v := c.arr.victim(lineAddr)
-	if v.valid {
+	// Install the tag now; remember the true data-arrival time in the
+	// line itself (eviction discards it along with the tag).
+	if c.arr.tags[vidx] != 0 {
 		c.stats.Evictions++
-		delete(c.inflight, v.tag)
 	}
-	*v = line{tag: lineAddr, valid: true}
-	c.arr.touch(v)
+	c.arr.install(vidx, lineAddr, fillReady)
+	c.arr.touch(&c.arr.lines[vidx])
 	c.stats.Fills++
 	c.stats.Writes++
-	c.inflight[lineAddr] = fillReady
-	c.pruneInflight(now)
 	return fillReady + c.cfg.Latency
-}
-
-// pruneInflight drops completed fills occasionally so the map stays
-// small on long runs.
-func (c *TimingCache) pruneInflight(now uint64) {
-	if len(c.inflight) < 1024 || now < c.lastPrune+10000 {
-		return
-	}
-	c.lastPrune = now
-	for a, r := range c.inflight {
-		if r <= now {
-			delete(c.inflight, a)
-		}
-	}
 }
 
 // Contains reports whether lineAddr currently has a tag in the level

@@ -191,10 +191,21 @@ type Entangling struct {
 
 	// pending mirrors the MSHR-resident history pointers: one
 	// candidate-source snapshot per outstanding demanded miss, consumed
-	// at fill time (§III-A2).
-	pending map[uint64]candidateSnapshot
+	// at fill time (§III-A2). A fixed array (the MSHR bound was already
+	// 32) whose snapshot buffers are reused across misses, so the hot
+	// path allocates nothing in steady state.
+	pending [maxPending]pendingEntry
 
 	stats Stats
+}
+
+// maxPending bounds outstanding candidate snapshots (MSHR mirror).
+const maxPending = 32
+
+type pendingEntry struct {
+	line  uint64
+	valid bool
+	snap  candidateSnapshot
 }
 
 // assert interface compliance.
@@ -212,10 +223,9 @@ func New(cfg Config, issuer prefetch.Issuer) *Entangling {
 		cfg.TagBits = defaultTagBits
 	}
 	e := &Entangling{
-		cfg:     cfg,
-		issuer:  issuer,
-		hist:    newHistory(cfg.HistorySize),
-		pending: make(map[uint64]candidateSnapshot),
+		cfg:    cfg,
+		issuer: issuer,
+		hist:   newHistory(cfg.HistorySize),
 	}
 	if cfg.SplitTable {
 		// Same budget, different shape: half the entangled entries,
@@ -230,6 +240,41 @@ func New(cfg Config, issuer prefetch.Issuer) *Entangling {
 		e.table = newTable(cfg.Space, cfg.Sets, cfg.Ways, cfg.TagBits)
 	}
 	return e
+}
+
+// pendingSlot returns the slot to record a snapshot for line: when a
+// slot is free, the one already holding line (overwrite semantics) or
+// the free one; nil when all 32 MSHR mirrors are busy — the miss goes
+// untracked, exactly as the map-based version behaved at capacity.
+func (e *Entangling) pendingSlot(line uint64) *pendingEntry {
+	var existing, free *pendingEntry
+	for i := range e.pending {
+		s := &e.pending[i]
+		if s.valid {
+			if s.line == line {
+				existing = s
+			}
+		} else if free == nil {
+			free = s
+		}
+	}
+	if free == nil {
+		return nil
+	}
+	if existing != nil {
+		return existing
+	}
+	return free
+}
+
+// findPending returns the valid slot holding line, or nil.
+func (e *Entangling) findPending(line uint64) *pendingEntry {
+	for i := range e.pending {
+		if e.pending[i].valid && e.pending[i].line == line {
+			return &e.pending[i]
+		}
+	}
+	return nil
 }
 
 // srcKey maps a source line to its table key; the ContextBits variant
@@ -280,10 +325,7 @@ func (e *Entangling) Config() Config { return e.cfg }
 // insert histogram is copied from the table.
 func (e *Entangling) Stats() Stats {
 	s := e.stats
-	s.InsertsBySigBits = make(map[int]uint64, len(e.table.insertsBySig))
-	for k, v := range e.table.insertsBySig {
-		s.InsertsBySigBits[k] = v
-	}
+	s.InsertsBySigBits = e.table.insertHistogram()
 	s.ExtraTableSearches = e.table.extraLookups
 	s.Relocations = e.table.relocations
 	s.AliasHits = e.table.aliasHits
@@ -365,8 +407,10 @@ func (e *Entangling) OnAccess(ev cache.AccessEvent) {
 	if !ev.Hit && isHead {
 		// The miss allocates an MSHR entry carrying a pointer into the
 		// history; capture the pre-miss candidate sources it refers to.
-		if len(e.pending) < 32 {
-			e.pending[ev.LineAddr] = e.hist.snapshot(ev.LineAddr)
+		if slot := e.pendingSlot(ev.LineAddr); slot != nil {
+			slot.line = ev.LineAddr
+			slot.valid = true
+			e.hist.snapshotInto(&slot.snap, ev.LineAddr)
 		}
 	}
 
@@ -460,7 +504,7 @@ func (e *Entangling) trigger(cycle uint64, line uint64) {
 	withBB := e.cfg.Variant == VariantFull || e.cfg.Variant == VariantBBEntBB
 	// Work on a copy: issuing prefetches must not be confused by
 	// concurrent slice mutation if the issuer calls back synchronously.
-	for _, d := range entry.dsts {
+	for _, d := range entry.dstSlots() {
 		if d.conf == 0 {
 			continue
 		}
@@ -487,13 +531,13 @@ func (e *Entangling) OnFill(ev cache.FillEvent) {
 	if !ev.Demanded {
 		return
 	}
-	snap, ok := e.pending[ev.LineAddr]
-	if !ok {
+	slot := e.findPending(ev.LineAddr)
+	if slot == nil {
 		// No MSHR-held history pointer (e.g. not a tracked head):
 		// covered by whole-block prefetching from its head.
 		return
 	}
-	delete(e.pending, ev.LineAddr)
+	slot.valid = false
 
 	latency := ev.Latency()
 	if latency > tsMask/2 {
@@ -501,7 +545,8 @@ func (e *Entangling) OnFill(ev cache.FillEvent) {
 	}
 	missTS := wrapTS(ev.IssueCycle)
 
-	candidates := snap.sources(missTS, uint32(latency), 2)
+	var candBuf [2]uint64
+	candidates := slot.snap.sourcesInto(missTS, uint32(latency), candBuf[:0])
 	if len(candidates) == 0 {
 		return
 	}
@@ -587,7 +632,7 @@ func (e *Entangling) updateConfidence(meta uint64, dst uint64, delta int) {
 	if entry == nil || !entry.valid || entry.tag != tag {
 		return
 	}
-	for i := range entry.dsts {
+	for i := 0; i < entry.ndst; i++ {
 		if entry.dsts[i].line != dst {
 			continue
 		}

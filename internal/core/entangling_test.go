@@ -69,10 +69,10 @@ func TestEntanglePairCreatedWithTimelySource(t *testing.T) {
 	// Source must be accessed >= 60 cycles before the miss: head 100
 	// (age 100) qualifies; head 200 (age 50) does not.
 	entry := e.table.lookup(100)
-	if entry == nil || len(entry.dsts) != 1 || entry.dsts[0].line != 300 {
+	if entry == nil || entry.ndst != 1 || entry.dsts[0].line != 300 {
 		t.Fatalf("pair (100 -> 300) not created: %+v", entry)
 	}
-	if got := e.table.lookup(200); got != nil && len(got.dsts) != 0 {
+	if got := e.table.lookup(200); got != nil && got.ndst != 0 {
 		t.Error("too-recent head 200 received the destination")
 	}
 	if e.Stats().PairsInserted != 1 {
@@ -105,7 +105,7 @@ func TestTriggerPrefetchesBlockAndDestinations(t *testing.T) {
 	// Locate the source the backward history walk chose for dst 300.
 	var src uint64
 	for i := range e.table.entries {
-		for _, d := range e.table.entries[i].dsts {
+		for _, d := range e.table.entries[i].dstSlots() {
 			if d.line == 300 {
 				src = e.table.entries[i].debugLine
 			}
@@ -173,7 +173,7 @@ func TestConfidenceLifecycle(t *testing.T) {
 	access(e, 100, 300, false)
 	fill(e, 100, 160, 300)
 	entry, set, way := e.table.lookupPos(100)
-	if entry == nil || len(entry.dsts) != 1 {
+	if entry == nil || entry.ndst != 1 {
 		t.Fatal("pair missing")
 	}
 	if entry.dsts[0].conf != maxConf {
@@ -195,7 +195,7 @@ func TestConfidenceLifecycle(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		e.OnEvict(cache.EvictEvent{LineAddr: 300, Prefetched: true, Accessed: false, Meta: meta})
 	}
-	if len(entry.dsts) != 0 {
+	if entry.ndst != 0 {
 		t.Errorf("dead pair not dropped: %+v", entry.dsts)
 	}
 	s := e.Stats()
@@ -245,7 +245,7 @@ func TestBodyMissDoesNotTrain(t *testing.T) {
 	access(e, 1, 101, false) // body line misses: no history pointer
 	fill(e, 1, 60, 101)
 	for i := range e.table.entries {
-		for _, d := range e.table.entries[i].dsts {
+		for _, d := range e.table.entries[i].dstSlots() {
 			if d.line == 101 {
 				t.Fatal("body-line miss created an entangled pair")
 			}
@@ -336,7 +336,7 @@ func TestSecondSourceFallback(t *testing.T) {
 	e1000 := e.table.lookup(1000)
 	found := false
 	if e1000 != nil {
-		for _, d := range e1000.dsts {
+		for _, d := range e1000.dstSlots() {
 			if d.line == 3000 {
 				found = true
 			}

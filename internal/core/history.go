@@ -90,11 +90,19 @@ type candidateSnapshot struct {
 // snapshot captures the current entries, most recent first, excluding
 // invalidated ones and the excluded line (the missing head itself).
 func (h *historyBuffer) snapshot(exclude uint64) candidateSnapshot {
+	var snap candidateSnapshot
+	h.snapshotInto(&snap, exclude)
+	return snap
+}
+
+// snapshotInto fills snap with the current entries, reusing its backing
+// slices — the hot path (one snapshot per tracked-head miss) stops
+// allocating once every pending slot's buffers have grown to the
+// history size.
+func (h *historyBuffer) snapshotInto(snap *candidateSnapshot, exclude uint64) {
 	n := len(h.entries)
-	snap := candidateSnapshot{
-		lines: make([]uint64, 0, h.count),
-		ts:    make([]uint32, 0, h.count),
-	}
+	snap.lines = snap.lines[:0]
+	snap.ts = snap.ts[:0]
 	for i := 1; i <= h.count; i++ {
 		pos := (h.head - i + n) % n
 		e := &h.entries[pos]
@@ -104,21 +112,26 @@ func (h *historyBuffer) snapshot(exclude uint64) candidateSnapshot {
 		snap.lines = append(snap.lines, e.line)
 		snap.ts = append(snap.ts, e.ts)
 	}
-	return snap
 }
 
 // sources returns up to maxResults source lines from the snapshot that
 // were accessed at least latency cycles before missTS, most recent
 // first.
 func (s *candidateSnapshot) sources(missTS, latency uint32, maxResults int) []uint64 {
-	var out []uint64
+	return s.sourcesInto(missTS, latency, make([]uint64, 0, maxResults))
+}
+
+// sourcesInto appends qualifying sources to out until its capacity is
+// reached; callers pass a stack-backed buffer to keep the fill path
+// allocation-free.
+func (s *candidateSnapshot) sourcesInto(missTS, latency uint32, out []uint64) []uint64 {
 	for i := range s.lines {
+		if len(out) == cap(out) {
+			break
+		}
 		age := tsDiff(missTS, s.ts[i])
 		if age >= latency && age <= tsMask/2 {
 			out = append(out, s.lines[i])
-			if len(out) == maxResults {
-				break
-			}
 		}
 	}
 	return out

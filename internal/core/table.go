@@ -19,12 +19,22 @@ type entangledTable struct {
 	fifoPtr []int
 
 	// Stats feeding Figures 12-15.
-	insertsBySig map[int]uint64 // needed-bit bucket -> count
+	// insertsBySig[mode-1] counts destination inserts whose needed bits
+	// fall in that mode's significant-bit bucket. A fixed array (hot
+	// per-insert path) instead of a map; insertHistogram rebuilds the
+	// bucket-keyed map view for Stats.
+	insertsBySig [maxDstSlots]uint64
 	dstEvicted   uint64
 	relocations  uint64
 	extraLookups uint64
 	aliasHits    uint64
 }
+
+// maxDstSlots is the largest destination count any mode allows (mode 6
+// of the virtual geometry, Table I); the physical geometry uses at most
+// 4 of the slots. Sizing entries to the hardware maximum keeps the
+// whole table allocation-free after construction.
+const maxDstSlots = 6
 
 type tableEntry struct {
 	tag uint16 // 10-bit tag
@@ -34,11 +44,23 @@ type tableEntry struct {
 	valid     bool
 	bbSize    uint8 // 6-bit max basic-block size
 	mode      uint8 // current compression mode (1-based); 0 = none yet
-	// dsts holds the destinations semantically (full line addresses
-	// plus the bit budget each needs); the mode bounds len(dsts) and
-	// every needed-bit count, exactly as the packed hardware encoding
-	// would.
-	dsts []dstSlot
+	// dsts[:ndst] holds the destinations semantically (full line
+	// addresses plus the bit budget each needs); the mode bounds ndst
+	// and every needed-bit count, exactly as the packed hardware
+	// encoding would. The backing array is fixed-capacity, mirroring
+	// the hardware's bounded destination array.
+	dsts [maxDstSlots]dstSlot
+	ndst int
+}
+
+// dstSlots returns the valid destinations as a slice view.
+func (e *tableEntry) dstSlots() []dstSlot { return e.dsts[:e.ndst] }
+
+// removeDst deletes the destination at index i, keeping order.
+func (e *tableEntry) removeDst(i int) {
+	copy(e.dsts[i:], e.dsts[i+1:e.ndst])
+	e.ndst--
+	e.dsts[e.ndst] = dstSlot{}
 }
 
 type dstSlot struct {
@@ -60,14 +82,26 @@ func newTable(space AddressSpace, sets, ways, tagBits int) *entangledTable {
 		tagBits = defaultTagBits
 	}
 	return &entangledTable{
-		space:        space,
-		sets:         sets,
-		ways:         ways,
-		tagBits:      tagBits,
-		entries:      make([]tableEntry, sets*ways),
-		fifoPtr:      make([]int, sets),
-		insertsBySig: make(map[int]uint64),
+		space:   space,
+		sets:    sets,
+		ways:    ways,
+		tagBits: tagBits,
+		entries: make([]tableEntry, sets*ways),
+		fifoPtr: make([]int, sets),
 	}
+}
+
+// insertHistogram rebuilds the Figure 12 map view (needed-bit bucket ->
+// insert count) from the per-mode counters.
+func (t *entangledTable) insertHistogram() map[int]uint64 {
+	g := geometries[t.space]
+	out := make(map[int]uint64, len(g.sigBits))
+	for i, v := range t.insertsBySig {
+		if v != 0 && i < len(g.sigBits) {
+			out[g.sigBits[i]] = v
+		}
+	}
+	return out
 }
 
 // index hashes a line address to its set with a simple XOR fold
@@ -152,12 +186,12 @@ func (t *entangledTable) recordBlock(line uint64, size uint8) *tableEntry {
 func (t *entangledTable) hasFreeDst(e *tableEntry, src, dst uint64) bool {
 	need := neededBits(t.space, src, dst)
 	maxNeed := need
-	for i := range e.dsts {
+	for i := 0; i < e.ndst; i++ {
 		if int(e.dsts[i].need) > maxNeed {
 			maxNeed = int(e.dsts[i].need)
 		}
 	}
-	return len(e.dsts) < modeFor(t.space, maxNeed)
+	return e.ndst < modeFor(t.space, maxNeed)
 }
 
 // addDst inserts dst into src's entry with maximum confidence,
@@ -173,7 +207,7 @@ func (t *entangledTable) addDst(src, dst uint64) *tableEntry {
 
 	// Already present: refresh confidence and (possibly) the needed
 	// bits, then recompute the mode.
-	for i := range e.dsts {
+	for i := 0; i < e.ndst; i++ {
 		if e.dsts[i].line == dst {
 			e.dsts[i].conf = maxConf
 			e.dsts[i].need = uint8(need)
@@ -182,35 +216,38 @@ func (t *entangledTable) addDst(src, dst uint64) *tableEntry {
 		}
 	}
 
-	t.insertsBySig[sigBucket(t.space, need)]++
+	// sigBucket(space, need) == sigBits[modeFor(space, need)-1], so the
+	// histogram indexes directly by mode.
+	t.insertsBySig[modeFor(t.space, need)-1]++
 
 	maxNeed := need
-	for i := range e.dsts {
+	for i := 0; i < e.ndst; i++ {
 		if int(e.dsts[i].need) > maxNeed {
 			maxNeed = int(e.dsts[i].need)
 		}
 	}
 	capacity := modeFor(t.space, maxNeed)
-	for len(e.dsts) >= capacity {
+	for e.ndst >= capacity {
 		// Evict the lowest-confidence destination.
 		victim := 0
-		for i := range e.dsts {
+		for i := 0; i < e.ndst; i++ {
 			if e.dsts[i].conf < e.dsts[victim].conf {
 				victim = i
 			}
 		}
-		e.dsts = append(e.dsts[:victim], e.dsts[victim+1:]...)
+		e.removeDst(victim)
 		t.dstEvicted++
 		// Mode may relax after the eviction (§III-B3).
 		maxNeed = need
-		for i := range e.dsts {
+		for i := 0; i < e.ndst; i++ {
 			if int(e.dsts[i].need) > maxNeed {
 				maxNeed = int(e.dsts[i].need)
 			}
 		}
 		capacity = modeFor(t.space, maxNeed)
 	}
-	e.dsts = append(e.dsts, dstSlot{line: dst, need: uint8(need), conf: maxConf})
+	e.dsts[e.ndst] = dstSlot{line: dst, need: uint8(need), conf: maxConf}
+	e.ndst++
 	t.recomputeMode(e)
 	return e
 }
@@ -218,12 +255,12 @@ func (t *entangledTable) addDst(src, dst uint64) *tableEntry {
 // recomputeMode sets the entry's mode from its current destinations
 // (§III-B3: recomputed on eviction to avoid a stale restrictive mode).
 func (t *entangledTable) recomputeMode(e *tableEntry) {
-	if len(e.dsts) == 0 {
+	if e.ndst == 0 {
 		e.mode = 0
 		return
 	}
 	maxNeed := 1
-	for i := range e.dsts {
+	for i := 0; i < e.ndst; i++ {
 		if int(e.dsts[i].need) > maxNeed {
 			maxNeed = int(e.dsts[i].need)
 		}
@@ -233,9 +270,9 @@ func (t *entangledTable) recomputeMode(e *tableEntry) {
 
 // dropDst removes a destination by line address (confidence reached 0).
 func (t *entangledTable) dropDst(e *tableEntry, dst uint64) {
-	for i := range e.dsts {
+	for i := 0; i < e.ndst; i++ {
 		if e.dsts[i].line == dst {
-			e.dsts = append(e.dsts[:i], e.dsts[i+1:]...)
+			e.removeDst(i)
 			t.recomputeMode(e)
 			return
 		}
@@ -260,9 +297,9 @@ func (t *entangledTable) allocate(line uint64) *tableEntry {
 
 	// Enhanced FIFO: if the victim holds entangled pairs, relocate its
 	// payload into a way that holds none (evicting that one instead).
-	if len(set[victim].dsts) > 0 {
+	if set[victim].ndst > 0 {
 		for i := range set {
-			if i != victim && len(set[i].dsts) == 0 {
+			if i != victim && set[i].ndst == 0 {
 				set[i] = set[victim]
 				t.relocations++
 				break

@@ -32,8 +32,8 @@ func TestTableAddDstModeCapacity(t *testing.T) {
 		tb.addDst(src, src&^uint64(0xFF)|i)
 	}
 	e := tb.lookup(src)
-	if len(e.dsts) != 6 {
-		t.Fatalf("dsts = %d, want 6", len(e.dsts))
+	if e.ndst != 6 {
+		t.Fatalf("dsts = %d, want 6", e.ndst)
 	}
 	if e.mode != 6 {
 		t.Errorf("mode = %d, want 6", e.mode)
@@ -43,10 +43,10 @@ func TestTableAddDstModeCapacity(t *testing.T) {
 	victim := e.dsts[2].line
 	tb.addDst(src, src&^uint64(0xFF)|7)
 	e = tb.lookup(src)
-	if len(e.dsts) != 6 {
-		t.Fatalf("dsts = %d after eviction insert", len(e.dsts))
+	if e.ndst != 6 {
+		t.Fatalf("dsts = %d after eviction insert", e.ndst)
 	}
-	for _, d := range e.dsts {
+	for _, d := range e.dstSlots() {
 		if d.line == victim {
 			t.Error("lowest-confidence destination not evicted")
 		}
@@ -68,8 +68,8 @@ func TestTableModeRestriction(t *testing.T) {
 	if e.mode != 2 {
 		t.Errorf("mode = %d, want 2", e.mode)
 	}
-	if len(e.dsts) != 2 {
-		t.Errorf("dsts = %d, want 2", len(e.dsts))
+	if e.ndst != 2 {
+		t.Errorf("dsts = %d, want 2", e.ndst)
 	}
 }
 
@@ -97,8 +97,8 @@ func TestTableDuplicateDstRefreshes(t *testing.T) {
 	e := tb.lookup(src)
 	e.dsts[0].conf = 1
 	tb.addDst(src, src+1)
-	if len(e.dsts) != 1 {
-		t.Fatalf("duplicate insert grew the array: %d", len(e.dsts))
+	if e.ndst != 1 {
+		t.Fatalf("duplicate insert grew the array: %d", e.ndst)
 	}
 	if e.dsts[0].conf != maxConf {
 		t.Errorf("conf = %d, want %d", e.dsts[0].conf, maxConf)
@@ -141,7 +141,7 @@ func TestEnhancedFIFORelocation(t *testing.T) {
 		t.Fatalf("relocations = %d, want 1", tb.relocations)
 	}
 	// The pair survived somewhere in the set.
-	if e := tb.lookup(0x1000); e == nil || len(e.dsts) != 1 {
+	if e := tb.lookup(0x1000); e == nil || e.ndst != 1 {
 		t.Error("entangled payload lost on FIFO eviction")
 	}
 }
@@ -201,14 +201,14 @@ func TestTableInvariantModeCoversAllDsts(t *testing.T) {
 		}
 		for i := range tb.entries {
 			e := &tb.entries[i]
-			if len(e.dsts) == 0 {
+			if e.ndst == 0 {
 				continue
 			}
-			if len(e.dsts) > int(e.mode) {
+			if e.ndst > int(e.mode) {
 				return false
 			}
 			budget := SigBits(Virtual, int(e.mode))
-			for _, d := range e.dsts {
+			for _, d := range e.dstSlots() {
 				if int(d.need) > budget {
 					return false
 				}

@@ -169,10 +169,14 @@ type Machine struct {
 	redirect    uint64
 	ftqRing     []uint64 // fetchStart of block i stored at i%FTQDepth
 	blockIdx    uint64
+	ftqPos      int // blockIdx % FTQDepth, kept as a wrapping cursor
 
-	// Backend rings.
+	// Backend rings. robPos/widthPos track instrIdx modulo each ring
+	// length as wrapping cursors, avoiding per-instruction divides.
 	robRing    []uint64 // retire cycle of instruction i at i%ROBSize
 	widthRing  []uint64 // retire cycles of the last RetireWidth instrs
+	robPos     int
+	widthPos   int
 	lastRetire uint64
 
 	instrIdx uint64
@@ -312,14 +316,43 @@ func (m *Machine) RunWindows(src trace.Source, warmup, measure uint64) Results {
 // consume advances the pipeline until instrIdx reaches maxInstrs or the
 // source ends.
 func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
-	var in trace.Instruction
+	var buf trace.Instruction
+	// Cached traces are in-memory slices: iterate them in place, sparing
+	// the loop a per-instruction interface call and struct copy. The
+	// instructions are read-only (one cached trace replays under many
+	// configurations); consumed count is reported back via Advance.
+	var span []trace.Instruction
+	spanIdx := 0
+	sliceSrc, fastPath := src.(*trace.SliceSource)
+	if fastPath {
+		span = sliceSrc.Remaining()
+		defer func() { sliceSrc.Advance(spanIdx) }()
+	}
 	haveBlock := m.haveBlock
 	curVirtLine := m.curVirtLine
 	fetchStart := m.fetchStart
 	blockCount := m.blockCount
 	forceBlock := m.forceBlock
+	// fetchOff/fetchSub track blockCount / and % FetchWidth
+	// incrementally; one divide here replaces one per instruction.
+	fw := m.cfg.FetchWidth
+	fetchOff := uint64(blockCount / fw)
+	fetchSub := blockCount % fw
 
-	for m.instrIdx < maxInstrs && src.Next(&in) {
+	for m.instrIdx < maxInstrs {
+		var in *trace.Instruction
+		if fastPath {
+			if spanIdx == len(span) {
+				break
+			}
+			in = &span[spanIdx]
+			spanIdx++
+		} else {
+			if !src.Next(&buf) {
+				break
+			}
+			in = &buf
+		}
 		virtLine := cache.LineAddr(in.PC)
 
 		if !haveBlock || forceBlock || virtLine != curVirtLine {
@@ -336,7 +369,7 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 			}
 			// FTQ backpressure: the prediction engine may run at most
 			// FTQDepth blocks ahead of fetch.
-			if backCap := m.ftqRing[m.blockIdx%uint64(m.cfg.FTQDepth)]; backCap > predictCycle {
+			if backCap := m.ftqRing[m.ftqPos]; backCap > predictCycle {
 				m.stalls.FTQFull += backCap - predictCycle
 				predictCycle = backCap
 			}
@@ -361,21 +394,29 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 			if fetchStart > noMissStart {
 				m.stalls.L1IMiss += fetchStart - noMissStart
 			}
-			m.ftqRing[m.blockIdx%uint64(m.cfg.FTQDepth)] = fetchStart
+			m.ftqRing[m.ftqPos] = fetchStart
 			m.blockIdx++
+			if m.ftqPos++; m.ftqPos == len(m.ftqRing) {
+				m.ftqPos = 0
+			}
 			blockCount = 0
+			fetchOff, fetchSub = 0, 0
 			haveBlock = true
 			curVirtLine = virtLine
 			forceBlock = false
 		}
 
-		fetchCycle := fetchStart + uint64(blockCount/m.cfg.FetchWidth)
+		fetchCycle := fetchStart + fetchOff
 		blockCount++
+		if fetchSub++; fetchSub == fw {
+			fetchSub = 0
+			fetchOff++
+		}
 		m.nextFetch = fetchCycle + 1 // next block starts no earlier
 
 		// Dispatch: front-end depth plus ROB backpressure.
 		dispatch := fetchCycle + m.cfg.FrontDepth
-		if prev := m.robRing[m.instrIdx%uint64(m.cfg.ROBSize)]; prev > dispatch {
+		if prev := m.robRing[m.robPos]; prev > dispatch {
 			m.stalls.ROBFull += prev - dispatch
 			dispatch = prev
 		}
@@ -401,7 +442,7 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 
 		// Branch handling.
 		if in.Branch.IsBranch() {
-			out := m.pred.Process(&in)
+			out := m.pred.Process(in)
 			ev := prefetch.BranchEvent{
 				Cycle:  fetchStart,
 				PC:     in.PC,
@@ -439,11 +480,17 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 		if retire < m.lastRetire {
 			retire = m.lastRetire
 		}
-		if w := m.widthRing[m.instrIdx%uint64(m.cfg.RetireWidth)] + 1; w > retire {
+		if w := m.widthRing[m.widthPos] + 1; w > retire {
 			retire = w
 		}
-		m.widthRing[m.instrIdx%uint64(m.cfg.RetireWidth)] = retire
-		m.robRing[m.instrIdx%uint64(m.cfg.ROBSize)] = retire
+		m.widthRing[m.widthPos] = retire
+		m.robRing[m.robPos] = retire
+		if m.widthPos++; m.widthPos == len(m.widthRing) {
+			m.widthPos = 0
+		}
+		if m.robPos++; m.robPos == len(m.robRing) {
+			m.robPos = 0
+		}
 		m.lastRetire = retire
 		m.instrIdx++
 	}

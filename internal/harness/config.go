@@ -111,6 +111,11 @@ type Options struct {
 	PerCategory int
 	// Parallelism bounds concurrent runs (defaults to GOMAXPROCS).
 	Parallelism int
+	// Traces, when non-nil, is a shared trace cache RunSuite draws from
+	// instead of building a private one. Drivers that run several
+	// sweeps over the same specs (benchmark iterations) pin the specs
+	// in a shared cache once so repeat sweeps skip generation.
+	Traces *workload.TraceCache
 }
 
 // DefaultOptions returns the paperfigs defaults.
@@ -159,6 +164,26 @@ func Run(cfg Configuration, spec workload.Spec, warmup, measure uint64,
 		return RunResult{}, err
 	}
 	r := m.RunWindows(workload.NewWalker(prog), warmup, measure)
+
+	out := RunResult{Config: cfg.Name, Workload: spec.Name, Category: spec.Params.Category, R: r}
+	if ent, ok := m.Prefetcher().(*core.Entangling); ok {
+		s := ent.Stats()
+		out.Ent = &s
+	}
+	return out, nil
+}
+
+// RunTrace executes one configuration over a pre-materialized workload
+// trace (see workload.TraceCache). Behaviour is identical to Run — the
+// walker is deterministic, so replaying its materialized stream
+// produces the same machine state — but the generation cost is paid
+// once per trace instead of once per run.
+func RunTrace(cfg Configuration, spec workload.Spec, tr *workload.Trace, warmup, measure uint64) (RunResult, error) {
+	m, err := machineFor(cfg, spec.Params.Seed, nil, nil)
+	if err != nil {
+		return RunResult{}, err
+	}
+	r := m.RunWindows(tr.Source(), warmup, measure)
 
 	out := RunResult{Config: cfg.Name, Workload: spec.Name, Category: spec.Params.Category, R: r}
 	if ent, ok := m.Prefetcher().(*core.Entangling); ok {

@@ -114,7 +114,9 @@ func sCurveTable(title, metricName string, s *SuiteResults, series func(string) 
 	}
 	curves := make([][]float64, len(cfgs))
 	for i, c := range cfgs {
-		curves[i] = stats.SCurve(series(c), points)
+		// Series are WorkloadOrder-aligned and NaN-padded; drop the
+		// undefined slots before resampling the sorted curve.
+		curves[i] = stats.SCurve(stats.FilterFinite(series(c)), points)
 	}
 	for p := 0; p < points; p++ {
 		row := []string{fmt.Sprintf("%3.0f%%", float64(p)/float64(points-1)*100)}
@@ -394,8 +396,8 @@ func Headline(s *SuiteResults) *Table {
 		t.AddRow(cfg,
 			fmt.Sprintf("%+.2f%%", (sp-1)*100),
 			gap,
-			pct(stats.Mean(s.Coverage(cfg))),
-			pct(stats.Mean(s.Accuracy(cfg))),
+			pct(stats.Mean(stats.FilterFinite(s.Coverage(cfg)))),
+			pct(stats.Mean(stats.FilterFinite(s.Accuracy(cfg)))),
 			pct(hit.Mean()))
 	}
 	return t

@@ -67,6 +67,12 @@ func TestRunSuiteCollectsAllErrors(t *testing.T) {
 			t.Errorf("error dropped a failure; missing %q in:\n%s", want, msg)
 		}
 	}
+	// Each failure names its (configuration, workload) cell.
+	for _, want := range []string{"cell bogus-a/" + specs[0].Name, "cell bogus-b/" + specs[0].Name} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error lacks cell context; missing %q in:\n%s", want, msg)
+		}
+	}
 	if !strings.Contains(msg, "2 of 2 runs failed") {
 		t.Errorf("error lacks failure count: %s", msg)
 	}

@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -21,6 +22,14 @@ type SuiteResults struct {
 }
 
 // RunSuite executes every configuration over every workload.
+//
+// Each workload's instruction stream is materialized once in a shared
+// trace cache and reused read-only by every configuration: the sweep
+// pays N_specs generations instead of N_cfgs x N_specs. Jobs are
+// ordered workload-major so the cells sharing a trace run close
+// together and the cache's refcounting can evict each trace as soon as
+// its last configuration finishes — resident traces stay proportional
+// to the worker count, not the suite size.
 func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteResults, error) {
 	out := &SuiteResults{Runs: make(map[string]map[string]RunResult)}
 	for _, c := range cfgs {
@@ -38,13 +47,24 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 	jobs := make(chan job)
 	results := make(chan RunResult, 8)
 
-	// Every worker error is collected (not just the first): a sweep
-	// that fails on several configurations reports them all, and no
-	// in-flight error is silently dropped.
+	cache := opt.Traces
+	if cache == nil {
+		cache = workload.NewTraceCache()
+	}
+	traceLen := opt.Warmup + opt.Measure
+
+	// Every worker error is collected (not just the first), and each is
+	// wrapped with its (configuration, workload) cell so a multi-failure
+	// sweep report says exactly which cells died.
 	var (
 		errMu   sync.Mutex
 		runErrs []error
 	)
+	addErr := func(cfg Configuration, spec workload.Spec, err error) {
+		errMu.Lock()
+		runErrs = append(runErrs, fmt.Errorf("cell %s/%s: %w", cfg.Name, spec.Name, err))
+		errMu.Unlock()
+	}
 
 	workers := opt.Parallelism
 	if workers < 1 {
@@ -56,11 +76,16 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r, err := Run(j.cfg, j.spec, opt.Warmup, opt.Measure, nil, nil)
+				tr, err := cache.Acquire(j.spec, traceLen, len(cfgs))
 				if err != nil {
-					errMu.Lock()
-					runErrs = append(runErrs, err)
-					errMu.Unlock()
+					cache.Release(j.spec, traceLen)
+					addErr(j.cfg, j.spec, err)
+					continue
+				}
+				r, err := RunTrace(j.cfg, j.spec, tr, opt.Warmup, opt.Measure)
+				cache.Release(j.spec, traceLen)
+				if err != nil {
+					addErr(j.cfg, j.spec, err)
 					continue
 				}
 				results <- r
@@ -68,8 +93,8 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 		}()
 	}
 	go func() {
-		for _, c := range cfgs {
-			for _, s := range specs {
+		for _, s := range specs {
+			for _, c := range cfgs {
 				jobs <- job{cfg: c, spec: s}
 			}
 		}
@@ -104,73 +129,108 @@ func (s *SuiteResults) baselineFor(wl string) (RunResult, bool) {
 	return r, ok
 }
 
+// nan pads vector slots whose value is undefined for a workload.
+var nan = math.NaN()
+
 // NormalizedIPC returns each workload's IPC under cfg divided by the
-// baseline IPC, in workload order.
+// baseline IPC. The vector is aligned with WorkloadOrder: slots whose
+// run or baseline is missing (or whose baseline IPC is zero) hold NaN
+// rather than being skipped, so element i always describes
+// WorkloadOrder[i]. Aggregations filter with stats.FilterFinite.
 func (s *SuiteResults) NormalizedIPC(cfg string) []float64 {
-	var out []float64
-	for _, wl := range s.WorkloadOrder {
+	out := make([]float64, len(s.WorkloadOrder))
+	for i, wl := range s.WorkloadOrder {
 		r, ok := s.Runs[cfg][wl]
 		b, bok := s.baselineFor(wl)
 		if !ok || !bok || b.R.IPC == 0 {
+			out[i] = nan
 			continue
 		}
-		out = append(out, r.R.IPC/b.R.IPC)
+		out[i] = r.R.IPC / b.R.IPC
 	}
 	return out
 }
 
-// GeomeanSpeedup returns the geometric-mean normalized IPC of cfg.
+// GeomeanSpeedup returns the geometric-mean normalized IPC of cfg,
+// computed over the workloads with a usable baseline — the same subset
+// for every configuration. If cfg is missing a run for any workload of
+// that subset the subsets would diverge between configurations, so the
+// result is NaN (loud in every rendered figure) instead of a silently
+// incomparable mean over fewer workloads.
 func (s *SuiteResults) GeomeanSpeedup(cfg string) float64 {
-	n := s.NormalizedIPC(cfg)
-	if len(n) == 0 {
+	var vals []float64
+	for i, v := range s.NormalizedIPC(cfg) {
+		wl := s.WorkloadOrder[i]
+		b, bok := s.baselineFor(wl)
+		if !bok || b.R.IPC == 0 {
+			continue // no baseline: undefined for every configuration
+		}
+		if math.IsNaN(v) {
+			return nan // baseline exists but cfg's run is missing
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
 		return 0
 	}
-	return stats.Geomean(n)
+	return stats.Geomean(vals)
 }
 
-// MissRatios returns each workload's L1I miss ratio under cfg.
+// MissRatios returns each workload's L1I miss ratio under cfg, aligned
+// with WorkloadOrder (NaN for missing runs).
 func (s *SuiteResults) MissRatios(cfg string) []float64 {
-	var out []float64
-	for _, wl := range s.WorkloadOrder {
+	out := make([]float64, len(s.WorkloadOrder))
+	for i, wl := range s.WorkloadOrder {
 		if r, ok := s.Runs[cfg][wl]; ok {
-			out = append(out, r.R.L1I.MissRatio())
+			out[i] = r.R.L1I.MissRatio()
+		} else {
+			out[i] = nan
 		}
 	}
 	return out
 }
 
 // Coverage returns per-workload prefetch coverage vs baseline misses
-// (the paper's "percentage of L1I misses covered by prefetching").
+// (the paper's "percentage of L1I misses covered by prefetching"),
+// aligned with WorkloadOrder (NaN where the run or baseline is missing
+// or the baseline had no misses).
 func (s *SuiteResults) Coverage(cfg string) []float64 {
-	var out []float64
-	for _, wl := range s.WorkloadOrder {
+	out := make([]float64, len(s.WorkloadOrder))
+	for i, wl := range s.WorkloadOrder {
 		r, ok := s.Runs[cfg][wl]
 		b, bok := s.baselineFor(wl)
 		if !ok || !bok || b.R.L1I.Misses == 0 {
+			out[i] = nan
 			continue
 		}
-		cov := 1 - float64(r.R.L1I.Misses)/float64(b.R.L1I.Misses)
-		out = append(out, cov)
+		out[i] = 1 - float64(r.R.L1I.Misses)/float64(b.R.L1I.Misses)
 	}
 	return out
 }
 
-// Accuracy returns per-workload prefetch accuracy under cfg.
+// Accuracy returns per-workload prefetch accuracy under cfg, aligned
+// with WorkloadOrder (NaN for missing runs).
 func (s *SuiteResults) Accuracy(cfg string) []float64 {
-	var out []float64
-	for _, wl := range s.WorkloadOrder {
+	out := make([]float64, len(s.WorkloadOrder))
+	for i, wl := range s.WorkloadOrder {
 		if r, ok := s.Runs[cfg][wl]; ok {
-			out = append(out, r.R.L1I.Accuracy())
+			out[i] = r.R.L1I.Accuracy()
+		} else {
+			out[i] = nan
 		}
 	}
 	return out
 }
 
-// StorageKB returns the configuration's prefetcher budget in KB (taken
-// from any run; 0 for baseline/cache-growth configurations).
+// StorageKB returns the configuration's prefetcher budget in KB (0 for
+// baseline/cache-growth configurations). The value is taken from the
+// first workload in WorkloadOrder with a run — a deterministic choice,
+// unlike Go map iteration; Validate checks all runs agree on it.
 func (s *SuiteResults) StorageKB(cfg string) float64 {
-	for _, r := range s.Runs[cfg] {
-		return float64(r.R.StorageBits) / 8 / 1024
+	for _, wl := range s.WorkloadOrder {
+		if r, ok := s.Runs[cfg][wl]; ok {
+			return float64(r.R.StorageBits) / 8 / 1024
+		}
 	}
 	return 0
 }
@@ -239,40 +299,57 @@ func (s *SuiteResults) InaccurateFractions(cfg string) []float64 {
 	return s.lifecycleFractions(cfg, func(r RunResult) uint64 { return r.R.Lifecycle.Inaccurate() })
 }
 
+// lifecycleFractions returns a WorkloadOrder-aligned vector (NaN where
+// the run is missing or had no prefetch fills to classify).
 func (s *SuiteResults) lifecycleFractions(cfg string, num func(RunResult) uint64) []float64 {
-	var out []float64
-	for _, wl := range s.WorkloadOrder {
+	out := make([]float64, len(s.WorkloadOrder))
+	for i, wl := range s.WorkloadOrder {
 		r, ok := s.Runs[cfg][wl]
 		if !ok || r.R.L1I.PrefetchFills == 0 {
+			out[i] = nan
 			continue
 		}
-		out = append(out, float64(num(r))/float64(r.R.L1I.PrefetchFills))
+		out[i] = float64(num(r)) / float64(r.R.L1I.PrefetchFills)
 	}
 	return out
 }
 
 // L1IStallShares returns, per workload, the share of attributed stall
 // cycles the L1I is responsible for under cfg — the top-down number a
-// prefetcher exists to shrink.
+// prefetcher exists to shrink. Aligned with WorkloadOrder (NaN where
+// the run is missing or attributed no stalls).
 func (s *SuiteResults) L1IStallShares(cfg string) []float64 {
-	var out []float64
-	for _, wl := range s.WorkloadOrder {
+	out := make([]float64, len(s.WorkloadOrder))
+	for i, wl := range s.WorkloadOrder {
 		r, ok := s.Runs[cfg][wl]
 		if !ok || r.R.Stalls.Total() == 0 {
+			out[i] = nan
 			continue
 		}
-		out = append(out, float64(r.R.Stalls.L1IMiss)/float64(r.R.Stalls.Total()))
+		out[i] = float64(r.R.Stalls.L1IMiss) / float64(r.R.Stalls.Total())
 	}
 	return out
 }
 
 // Validate checks the sweep is complete (every config ran every
-// workload).
+// workload) and internally consistent (every run of a configuration
+// reports the same prefetcher storage budget — the budget is a
+// property of the configuration, so disagreement means corrupted
+// results).
 func (s *SuiteResults) Validate() error {
 	for _, c := range s.ConfigOrder {
-		for _, wl := range s.WorkloadOrder {
-			if _, ok := s.Runs[c][wl]; !ok {
+		var budget uint64
+		var budgetWl string
+		for i, wl := range s.WorkloadOrder {
+			r, ok := s.Runs[c][wl]
+			if !ok {
 				return fmt.Errorf("harness: missing run %s/%s", c, wl)
+			}
+			if i == 0 {
+				budget, budgetWl = r.R.StorageBits, wl
+			} else if r.R.StorageBits != budget {
+				return fmt.Errorf("harness: %s reports storage %d bits on %s but %d bits on %s",
+					c, budget, budgetWl, r.R.StorageBits, wl)
 			}
 		}
 	}

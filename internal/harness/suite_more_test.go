@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"entangling/internal/core"
@@ -49,20 +51,129 @@ func TestSuiteMetricsWithoutBaseline(t *testing.T) {
 		ConfigOrder:   []string{"x"},
 		WorkloadOrder: []string{"a"},
 	}
-	if got := s.NormalizedIPC("x"); len(got) != 0 {
-		t.Errorf("NormalizedIPC without baseline = %v", got)
+	// Vectors stay aligned with WorkloadOrder: undefined slots are NaN,
+	// never silently dropped.
+	if got := s.NormalizedIPC("x"); len(got) != 1 || !math.IsNaN(got[0]) {
+		t.Errorf("NormalizedIPC without baseline = %v, want [NaN]", got)
 	}
-	if got := s.Coverage("x"); len(got) != 0 {
-		t.Errorf("Coverage without baseline = %v", got)
+	if got := s.Coverage("x"); len(got) != 1 || !math.IsNaN(got[0]) {
+		t.Errorf("Coverage without baseline = %v, want [NaN]", got)
 	}
 	if s.GeomeanSpeedup("x") != 0 {
-		t.Error("GeomeanSpeedup without runs should be 0")
+		t.Error("GeomeanSpeedup without any usable baseline should be 0")
 	}
 	if s.StorageKB("x") != 0 {
 		t.Error("StorageKB without runs should be 0")
 	}
 	if err := s.Validate(); err == nil {
 		t.Error("incomplete suite validated")
+	}
+}
+
+// alignedSuite builds a synthetic two-config, three-workload suite used
+// by the aligned-vector tests. Baseline IPCs: a=1, b=0 (degenerate),
+// c missing from cfg "x" (partial run map).
+func alignedSuite() *SuiteResults {
+	mk := func(cfg, wl string, ipc float64, misses uint64) RunResult {
+		r := RunResult{Config: cfg, Workload: wl}
+		r.R.IPC = ipc
+		r.R.L1I.Misses = misses
+		r.R.L1I.Accesses = misses * 10
+		return r
+	}
+	return &SuiteResults{
+		Runs: map[string]map[string]RunResult{
+			"no": {
+				"a": mk("no", "a", 1.0, 100),
+				"b": mk("no", "b", 0.0, 0), // zero-IPC, zero-miss baseline
+				"c": mk("no", "c", 2.0, 50),
+			},
+			"x": {
+				"a": mk("x", "a", 1.5, 25),
+				"b": mk("x", "b", 1.0, 10),
+				// "c" missing: partial run map.
+			},
+		},
+		ConfigOrder:   []string{"no", "x"},
+		WorkloadOrder: []string{"a", "b", "c"},
+	}
+}
+
+func TestAlignedVectors(t *testing.T) {
+	s := alignedSuite()
+	cases := []struct {
+		name string
+		got  []float64
+		want []float64 // NaN marks an undefined slot
+	}{
+		{"NormalizedIPC", s.NormalizedIPC("x"), []float64{1.5, math.NaN(), math.NaN()}},
+		{"Coverage", s.Coverage("x"), []float64{0.75, math.NaN(), math.NaN()}},
+		{"MissRatios", s.MissRatios("x"), []float64{0.1, 0.1, math.NaN()}},
+	}
+	for _, c := range cases {
+		if len(c.got) != len(s.WorkloadOrder) {
+			t.Errorf("%s: length %d, want %d (aligned with WorkloadOrder)",
+				c.name, len(c.got), len(s.WorkloadOrder))
+			continue
+		}
+		for i, want := range c.want {
+			got := c.got[i]
+			switch {
+			case math.IsNaN(want) && !math.IsNaN(got):
+				t.Errorf("%s[%d] (%s) = %v, want NaN", c.name, i, s.WorkloadOrder[i], got)
+			case !math.IsNaN(want) && math.Abs(got-want) > 1e-12:
+				t.Errorf("%s[%d] (%s) = %v, want %v", c.name, i, s.WorkloadOrder[i], got, want)
+			}
+		}
+	}
+}
+
+func TestGeomeanSpeedupSubsetSemantics(t *testing.T) {
+	s := alignedSuite()
+	// The usable-baseline subset is {a, c} (b's baseline IPC is 0).
+	// "x" has no run for c, so its subset would differ from other
+	// configurations': the result must be loudly NaN, not a quiet mean
+	// over fewer workloads.
+	if got := s.GeomeanSpeedup("x"); !math.IsNaN(got) {
+		t.Errorf("GeomeanSpeedup over a partial run map = %v, want NaN", got)
+	}
+	// Baseline vs itself is defined on the full subset and equals 1.
+	if got := s.GeomeanSpeedup("no"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("GeomeanSpeedup(no) = %v, want 1", got)
+	}
+	// Completing the run map makes "x" comparable again.
+	r := RunResult{Config: "x", Workload: "c"}
+	r.R.IPC = 3.0
+	s.Runs["x"]["c"] = r
+	want := math.Sqrt(1.5 * 1.5) // geomean of {1.5, 3.0/2.0}
+	if got := s.GeomeanSpeedup("x"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GeomeanSpeedup(x) = %v, want %v", got, want)
+	}
+}
+
+func TestStorageKBDeterministic(t *testing.T) {
+	s := &SuiteResults{
+		Runs:          map[string]map[string]RunResult{"x": {}},
+		ConfigOrder:   []string{"x"},
+		WorkloadOrder: []string{"a", "b"},
+	}
+	ra := RunResult{Config: "x", Workload: "a"}
+	ra.R.StorageBits = 8 * 1024 * 16 // 16 KB
+	rb := RunResult{Config: "x", Workload: "b"}
+	rb.R.StorageBits = 8 * 1024 * 32
+	s.Runs["x"]["a"] = ra
+	s.Runs["x"]["b"] = rb
+	// The first workload in WorkloadOrder decides, not map iteration.
+	if got := s.StorageKB("x"); got != 16 {
+		t.Errorf("StorageKB = %v, want 16 (from WorkloadOrder[0])", got)
+	}
+	// Validate flags the disagreement between runs of one configuration.
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted runs disagreeing on StorageBits")
+	}
+	if !strings.Contains(err.Error(), "storage") {
+		t.Errorf("Validate error %q does not mention storage", err)
 	}
 }
 

@@ -139,11 +139,11 @@ func QualityTable(s *SuiteResults) *Table {
 		}
 		t.AddRow(cfg,
 			fmt.Sprintf("%+.2f%%", (s.GeomeanSpeedup(cfg)-1)*100),
-			pct(stats.Mean(s.Coverage(cfg))),
-			pct(stats.Mean(s.Accuracy(cfg))),
+			pct(stats.Mean(stats.FilterFinite(s.Coverage(cfg)))),
+			pct(stats.Mean(stats.FilterFinite(s.Accuracy(cfg)))),
 			frac(lc.Timely), frac(lc.Late), frac(lc.EarlyEvicted), frac(lc.Inaccurate()),
 			f2(lc.MeanSaved()),
-			pct(stats.Mean(s.L1IStallShares(cfg))))
+			pct(stats.Mean(stats.FilterFinite(s.L1IStallShares(cfg)))))
 	}
 	return t
 }

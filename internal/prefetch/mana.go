@@ -27,8 +27,10 @@ type MANA struct {
 	curTrigger uint64
 	haveRegion bool
 
-	// walk dedupes lines within one chain walk (see OnAccess).
-	walk map[uint64]bool
+	// walk dedupes lines within one chain walk (see OnAccess). It
+	// holds at most Lookahead*(regionSpan+1) entries, so a linear scan
+	// beats a map on every region boundary.
+	walk []uint64
 }
 
 type manaEntry struct {
@@ -126,16 +128,14 @@ func (p *MANA) OnAccess(ev cache.AccessEvent) {
 	// Walk the chain. Successor pointers can form short cycles
 	// (A→B→A), so dedupe lines within the walk — the PQ would reject
 	// the repeats anyway, this just skips the wasted probes.
-	if p.walk == nil {
-		p.walk = make(map[uint64]bool, 4*regionSpan)
-	} else {
-		clear(p.walk)
-	}
+	p.walk = p.walk[:0]
 	issue := func(l uint64) {
-		if p.walk[l] {
-			return
+		for _, w := range p.walk {
+			if w == l {
+				return
+			}
 		}
-		p.walk[l] = true
+		p.walk = append(p.walk, l)
 		p.issuer.Prefetch(ev.Cycle, l, 0)
 	}
 	t := line

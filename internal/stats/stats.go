@@ -27,6 +27,20 @@ func Geomean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
+// FilterFinite returns the finite values of xs, dropping NaN and ±Inf.
+// The harness's per-workload metric vectors are NaN-padded so they stay
+// aligned with the workload order; aggregations (means, geomeans,
+// S-curves) call FilterFinite at the point of use.
+func FilterFinite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -142,5 +142,15 @@ func (s *SliceSource) Next(in *Instruction) bool {
 	return true
 }
 
+// Remaining exposes the unread tail of the slice, letting the hot
+// simulation loop iterate instructions in place — no per-instruction
+// interface call or struct copy. Callers must treat the instructions
+// as read-only (a cached trace replays under many configurations) and
+// report how far they got via Advance.
+func (s *SliceSource) Remaining() []Instruction { return s.Instrs[s.pos:] }
+
+// Advance marks n instructions of Remaining as consumed.
+func (s *SliceSource) Advance(n int) { s.pos += n }
+
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"entangling/internal/trace"
+)
+
+// This file implements the suite-sweep trace cache. A configurations x
+// workloads sweep used to regenerate (build the program, walk the CFG,
+// synthesize data addresses for) every workload's instruction stream
+// once per configuration — N_cfgs x N_specs generations of N_specs
+// distinct streams. The cache materializes each spec's stream once
+// into an immutable instruction slice shared read-only by every
+// configuration, and evicts it as soon as the last configuration has
+// consumed it, so a sweep's resident trace set stays proportional to
+// the worker count, not the suite size.
+
+// Trace is an immutable, materialized instruction stream. It is safe
+// to share across goroutines; each reader gets its own Source.
+type Trace struct {
+	// Name is the workload the trace was materialized from.
+	Name string
+	// Instrs is the instruction stream. Readers must not mutate it.
+	Instrs []trace.Instruction
+}
+
+// Source returns a fresh reader over the trace.
+func (t *Trace) Source() trace.Source {
+	return &trace.SliceSource{Instrs: t.Instrs}
+}
+
+// Materialize builds a spec's program and walks exactly n instructions
+// into an immutable trace. Two calls with the same spec and n yield
+// identical streams (the walk is deterministic), which is what makes
+// sharing one materialization across configurations behaviour-
+// preserving.
+func Materialize(spec Spec, n uint64) (*Trace, error) {
+	w, err := spec.New()
+	if err != nil {
+		return nil, err
+	}
+	instrs := make([]trace.Instruction, n)
+	for i := range instrs {
+		if !w.Next(&instrs[i]) {
+			instrs = instrs[:i]
+			break
+		}
+	}
+	return &Trace{Name: spec.Name, Instrs: instrs}, nil
+}
+
+// TraceCache shares materialized traces between the runs of a sweep.
+// Entries are refcounted: Acquire declares up front how many times the
+// trace will be used in total, and the matching Releases evict it once
+// the last user is done.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+
+	// builds and hits count materializations and shared reuses; they
+	// feed CacheStats (and the >= 2x wall-clock claim: a sweep's
+	// generation work is builds, not builds+hits).
+	builds uint64
+	hits   uint64
+}
+
+type cacheKey struct {
+	name string
+	n    uint64
+}
+
+type cacheEntry struct {
+	once      sync.Once
+	tr        *Trace
+	err       error
+	remaining int
+	// pinned entries survive any number of Releases (benchmark drivers
+	// that sweep the same suite repeatedly pin their specs up front).
+	pinned bool
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Acquire returns the materialized trace of spec's first n
+// instructions, building it on first use. uses is the total number of
+// Acquire calls this (spec, n) pair will receive over the cache's
+// lifetime (one per sweep cell); after that many Releases the entry is
+// evicted. Only the first Acquire's uses value is honored.
+//
+// Materialization runs outside the cache lock, so concurrent Acquires
+// of different specs build in parallel while Acquires of the same spec
+// block until the one build finishes.
+func (c *TraceCache) Acquire(spec Spec, n uint64, uses int) (*Trace, error) {
+	if uses < 1 {
+		uses = 1
+	}
+	key := cacheKey{name: spec.Name, n: n}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{remaining: uses}
+		c.entries[key] = e
+		c.builds++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.tr, e.err = Materialize(spec, n) })
+	return e.tr, e.err
+}
+
+// Pin materializes the (spec, n) trace and retains it for the cache's
+// lifetime: subsequent Acquires are hits and Releases never evict it.
+// Drivers that run the same sweep repeatedly (benchmark iterations)
+// pin their specs once so re-runs skip generation entirely.
+func (c *TraceCache) Pin(spec Spec, n uint64) (*Trace, error) {
+	key := cacheKey{name: spec.Name, n: n}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{remaining: 1}
+		c.entries[key] = e
+		c.builds++
+	} else {
+		c.hits++
+	}
+	e.pinned = true
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.tr, e.err = Materialize(spec, n) })
+	return e.tr, e.err
+}
+
+// Release returns one use of the (spec, n) trace. When the declared
+// use count is exhausted the entry is dropped, freeing the stream;
+// pinned entries are never dropped.
+func (c *TraceCache) Release(spec Spec, n uint64) {
+	key := cacheKey{name: spec.Name, n: n}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.pinned {
+		return
+	}
+	e.remaining--
+	if e.remaining <= 0 {
+		delete(c.entries, key)
+	}
+}
+
+// CacheStats reports materializations performed and shared reuses
+// served, plus the number of currently resident traces.
+func (c *TraceCache) CacheStats() (builds, hits uint64, resident int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds, c.hits, len(c.entries)
+}
+
+// String renders the cache counters (diagnostics).
+func (c *TraceCache) String() string {
+	builds, hits, resident := c.CacheStats()
+	return fmt.Sprintf("tracecache{builds: %d, hits: %d, resident: %d}", builds, hits, resident)
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"entangling/internal/trace"
+)
+
+func testSpec(t *testing.T) Spec {
+	t.Helper()
+	specs := CVPSuite(1)
+	if len(specs) == 0 {
+		t.Fatal("CVPSuite returned no specs")
+	}
+	return specs[0]
+}
+
+func TestMaterializeMatchesWalker(t *testing.T) {
+	spec := testSpec(t)
+	const n = 2000
+
+	tr, err := Materialize(spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Instrs) != n {
+		t.Fatalf("materialized %d instructions, want %d", len(tr.Instrs), n)
+	}
+	if tr.Name != spec.Name {
+		t.Errorf("trace name %q, want %q", tr.Name, spec.Name)
+	}
+
+	// The materialized stream must be exactly what a fresh walker
+	// produces — that identity is what makes sharing one trace across
+	// configurations behaviour-preserving.
+	w, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in trace.Instruction
+	for i := 0; i < n; i++ {
+		if !w.Next(&in) {
+			t.Fatalf("walker ended early at %d", i)
+		}
+		if in != tr.Instrs[i] {
+			t.Fatalf("instruction %d diverges: walker %+v, trace %+v", i, in, tr.Instrs[i])
+		}
+	}
+}
+
+func TestTraceSourceIndependentReaders(t *testing.T) {
+	tr := &Trace{Instrs: []trace.Instruction{{PC: 1}, {PC: 2}, {PC: 3}}}
+	a, b := tr.Source(), tr.Source()
+	var in trace.Instruction
+	if !a.Next(&in) || in.PC != 1 {
+		t.Fatal("reader a out of position")
+	}
+	if !a.Next(&in) || in.PC != 2 {
+		t.Fatal("reader a out of position")
+	}
+	// b starts at the beginning regardless of a's progress.
+	if !b.Next(&in) || in.PC != 1 {
+		t.Fatal("reader b shares position with a")
+	}
+}
+
+func TestTraceCacheRefcount(t *testing.T) {
+	spec := testSpec(t)
+	c := NewTraceCache()
+
+	t1, err := c.Acquire(spec, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.Acquire(spec, 100, 99) // uses honored only on first Acquire
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("second Acquire did not share the materialized trace")
+	}
+	if builds, hits, resident := c.CacheStats(); builds != 1 || hits != 1 || resident != 1 {
+		t.Errorf("stats after 2 acquires: builds=%d hits=%d resident=%d", builds, hits, resident)
+	}
+
+	// A different window is a different entry.
+	if _, err := c.Acquire(spec, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	if builds, _, resident := c.CacheStats(); builds != 2 || resident != 2 {
+		t.Errorf("stats after second window: builds=%d resident=%d", builds, resident)
+	}
+
+	c.Release(spec, 100)
+	if _, _, resident := c.CacheStats(); resident != 2 {
+		t.Errorf("entry evicted with a use outstanding (resident=%d)", resident)
+	}
+	c.Release(spec, 100)
+	if _, _, resident := c.CacheStats(); resident != 1 {
+		t.Errorf("entry not evicted after declared uses (resident=%d)", resident)
+	}
+	// Releasing an absent entry is a no-op.
+	c.Release(spec, 100)
+}
+
+func TestTraceCacheConcurrentAcquireBuildsOnce(t *testing.T) {
+	spec := testSpec(t)
+	c := NewTraceCache()
+	const workers = 8
+
+	traces := make([]*Trace, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := c.Acquire(spec, 200, workers)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = tr
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < workers; i++ {
+		if traces[i] != traces[0] {
+			t.Fatal("concurrent acquires produced distinct traces")
+		}
+	}
+	if builds, hits, _ := c.CacheStats(); builds != 1 || hits != workers-1 {
+		t.Errorf("builds=%d hits=%d, want 1 and %d", builds, hits, workers-1)
+	}
+}
+
+func TestTraceCachePinSurvivesRelease(t *testing.T) {
+	spec := testSpec(t)
+	c := NewTraceCache()
+
+	pinned, err := c.Pin(spec, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An Acquire of a pinned entry is a hit and shares the trace.
+	got, err := c.Acquire(spec, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pinned {
+		t.Error("Acquire after Pin rebuilt the trace")
+	}
+	// No number of Releases evicts a pinned entry.
+	for i := 0; i < 5; i++ {
+		c.Release(spec, 100)
+	}
+	if _, _, resident := c.CacheStats(); resident != 1 {
+		t.Errorf("pinned entry evicted (resident=%d)", resident)
+	}
+	if builds, hits, _ := c.CacheStats(); builds != 1 || hits != 1 {
+		t.Errorf("builds=%d hits=%d after Pin+Acquire, want 1 and 1", builds, hits)
+	}
+
+	// Pinning an entry acquired first also protects it.
+	if _, err := c.Acquire(spec, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pin(spec, 30); err != nil {
+		t.Fatal(err)
+	}
+	c.Release(spec, 30)
+	if _, _, resident := c.CacheStats(); resident != 2 {
+		t.Errorf("late-pinned entry evicted (resident=%d)", resident)
+	}
+}

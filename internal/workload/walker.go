@@ -31,8 +31,10 @@ type Walker struct {
 
 	// perm maps power-law rank to function index for indirect calls;
 	// reshuffled every PhaseLen instructions when phases are enabled.
-	perm      []int
-	nextPhase uint64
+	// permScratch is the rotation buffer reused across reshuffles.
+	perm        []int
+	permScratch []int
+	nextPhase   uint64
 }
 
 type frame struct {
@@ -241,7 +243,10 @@ func (w *Walker) reshufflePhase() {
 	// Rotate by a random amount and swap a random sample; keeps most
 	// structure while moving the working set.
 	rot := 1 + w.rng.IntN(n-1)
-	rotated := make([]int, n)
+	if w.permScratch == nil {
+		w.permScratch = make([]int, n)
+	}
+	rotated := w.permScratch
 	for i := range w.perm {
 		rotated[i] = w.perm[(i+rot)%n]
 	}
