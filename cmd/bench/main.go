@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"entangling/internal/harness"
 )
@@ -56,7 +59,9 @@ func main() {
 		doc.Before = &b
 	}
 
-	p, err := harness.RunBench(*label, *iterations)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	p, err := harness.RunBenchCtx(ctx, *label, *iterations)
 	if err != nil {
 		fatal(err)
 	}

@@ -38,8 +38,13 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write machine-readable run metrics to this file (.csv for CSV, JSON otherwise)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+		checkpoint = flag.String("checkpoint", "", "persist completed runs into this directory (crash-safe, keyed by config x workload x windows)")
+		resume     = flag.Bool("resume", false, "reuse a matching record from -checkpoint instead of re-running")
 	)
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	if *list {
 		for _, n := range entangling.Prefetchers() {
@@ -93,12 +98,56 @@ func main() {
 		}
 		name = spec.Name
 		category = string(spec.Params.Category)
-		r, err = entangling.Run(cfg, spec, *warmup, *measure)
+
+		var store *harness.CheckpointStore
+		if *checkpoint != "" {
+			store, err = harness.OpenCheckpointStore(*checkpoint)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		// runCell funnels every simulation through the checkpoint store
+		// when one is named: -resume reuses a valid matching record,
+		// and every fresh result is persisted crash-safely.
+		runCell := func(c entangling.Configuration) (entangling.Results, error) {
+			if store == nil {
+				return entangling.Run(c, spec, *warmup, *measure)
+			}
+			fp := harness.CellFingerprint(c, spec, *warmup, *measure)
+			if *resume {
+				if rec, ok, lerr := store.Load(fp); lerr != nil {
+					return entangling.Results{}, lerr
+				} else if ok && rec.Config == c.Name && rec.Workload == spec.Name {
+					fmt.Fprintf(os.Stderr, "resumed %s/%s from checkpoint\n", c.Name, spec.Name)
+					return rec.Result.R, nil
+				}
+			}
+			res, rerr := entangling.Run(c, spec, *warmup, *measure)
+			if rerr != nil {
+				return res, rerr
+			}
+			rec := harness.CellRecord{
+				SchemaVersion: harness.CheckpointSchemaVersion,
+				Fingerprint:   fp,
+				Config:        c.Name,
+				Workload:      spec.Name,
+				Result: harness.RunResult{
+					Config: c.Name, Workload: spec.Name,
+					Category: spec.Params.Category, R: res,
+				},
+			}
+			if serr := store.Save(rec); serr != nil {
+				return res, serr
+			}
+			return res, nil
+		}
+
+		r, err = runCell(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		if *base && *pf != "no" {
-			b, err := entangling.Run(entangling.Configuration{Name: "no", Physical: *phys}, spec, *warmup, *measure)
+			b, err := runCell(entangling.Configuration{Name: "no", Physical: *phys})
 			if err != nil {
 				fatal(err)
 			}

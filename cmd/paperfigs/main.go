@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"entangling"
 	"entangling/internal/harness"
@@ -31,10 +35,35 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonDir    = flag.String("json", "", "also write each table as JSON into this directory")
 		metricsOut = flag.String("metrics-out", "", "write the main sweep's per-run metrics to this file (.csv for CSV, JSON otherwise)")
+
+		checkpoint  = flag.String("checkpoint", "", "persist every completed sweep cell into this directory (crash-safe)")
+		resume      = flag.Bool("resume", false, "reuse valid records from -checkpoint instead of re-running their cells")
+		retries     = flag.Int("retries", 2, "re-run a failed sweep cell up to this many times")
+		cellTimeout = flag.Duration("cell-timeout", 0, "abandon (and retry) any sweep cell running longer than this (0 = no deadline)")
 	)
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
-	opt := harness.Options{Warmup: *warmup, Measure: *measure, PerCategory: *perCat, Parallelism: 0}
+	// An interrupt cancels the sweep cooperatively: in-flight cells
+	// stop at the next poll, completed cells stay checkpointed, and a
+	// later -resume run picks up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := harness.Options{
+		Warmup: *warmup, Measure: *measure, PerCategory: *perCat, Parallelism: 0,
+		Retries: *retries, RetryBaseDelay: 100 * time.Millisecond, CellTimeout: *cellTimeout,
+		Resume: *resume,
+	}
+	if *checkpoint != "" {
+		store, err := harness.OpenCheckpointStore(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Checkpoint = store
+	}
 	specs := workload.CVPSuite(*perCat)
 
 	want := map[string]bool{}
@@ -90,7 +119,7 @@ func main() {
 	if needMain {
 		fmt.Fprintf(os.Stderr, "running main sweep: %d workloads x %d configurations...\n",
 			len(specs), len(harness.StandardConfigurations()))
-		suite, err := harness.RunSuite(specs, harness.StandardConfigurations(), opt)
+		suite, err := harness.RunSuiteCtx(ctx, specs, harness.StandardConfigurations(), opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -129,7 +158,7 @@ func main() {
 	// Figure 11: ablation sweep.
 	if all || want["11"] {
 		fmt.Fprintln(os.Stderr, "running ablation sweep (Figure 11)...")
-		suite, err := harness.RunSuite(specs, harness.AblationConfigurations(), opt)
+		suite, err := harness.RunSuiteCtx(ctx, specs, harness.AblationConfigurations(), opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -145,7 +174,7 @@ func main() {
 			{Name: "entangling-4k", Prefetcher: "entangling-4k"},
 			{Name: "entangling-8k", Prefetcher: "entangling-8k"},
 		}
-		suite, err := harness.RunSuite(specs, cfgs, opt)
+		suite, err := harness.RunSuiteCtx(ctx, specs, cfgs, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,7 +196,7 @@ func main() {
 	// §IV-E: physical-address training.
 	if all || want["physical"] {
 		fmt.Fprintln(os.Stderr, "running physical-address sweep (Section IV-E)...")
-		suite, err := harness.RunSuite(specs, harness.PhysicalConfigurations(), opt)
+		suite, err := harness.RunSuiteCtx(ctx, specs, harness.PhysicalConfigurations(), opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -177,22 +206,22 @@ func main() {
 	// Extensions: split/context/PQ studies beyond the paper's figures.
 	if all || want["ext"] {
 		fmt.Fprintln(os.Stderr, "running extension sweeps (split / context / PQ)...")
-		split, err := harness.RunSuite(specs, harness.SplitConfigurations(), opt)
+		split, err := harness.RunSuiteCtx(ctx, specs, harness.SplitConfigurations(), opt)
 		if err != nil {
 			fatal(err)
 		}
 		emit(harness.ExtSplitTable(split), "ext-split")
-		ctx, err := harness.RunSuite(specs, harness.ContextConfigurations(), opt)
+		ctxSweep, err := harness.RunSuiteCtx(ctx, specs, harness.ContextConfigurations(), opt)
 		if err != nil {
 			fatal(err)
 		}
-		emit(harness.ExtContextTable(ctx), "ext-context")
+		emit(harness.ExtContextTable(ctxSweep), "ext-context")
 		pq, err := harness.ExtPQSweep(*warmup, *measure)
 		if err != nil {
 			fatal(err)
 		}
 		emit(pq, "ext-pq")
-		retire, err := harness.RunSuite(specs, harness.RetireConfigurations(), opt)
+		retire, err := harness.RunSuiteCtx(ctx, specs, harness.RetireConfigurations(), opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -213,7 +242,7 @@ func main() {
 			{Name: "entangling-4k", Prefetcher: "entangling-4k"},
 			{Name: "ideal", IdealL1I: true},
 		}
-		suite, err := harness.RunSuite(cloud, cfgs, opt)
+		suite, err := harness.RunSuiteCtx(ctx, cloud, cfgs, opt)
 		if err != nil {
 			fatal(err)
 		}

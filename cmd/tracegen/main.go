@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"entangling"
 	"entangling/internal/trace"
@@ -46,6 +49,12 @@ func main() {
 		fatal(err)
 	}
 
+	// An interrupted generation must not leave a truncated trace file
+	// masquerading as a complete one: on cancellation the partial
+	// output is removed before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -56,8 +65,18 @@ func main() {
 		fatal(err)
 	}
 	src := workload.NewWalker(prog)
+	done := ctx.Done()
 	var in trace.Instruction
 	for i := uint64(0); i < *n && src.Next(&in); i++ {
+		if i&0xFFFF == 0 {
+			select {
+			case <-done:
+				f.Close()
+				os.Remove(*out)
+				fatal(fmt.Errorf("interrupted after %d instructions; removed partial %s", i, *out))
+			default:
+			}
+		}
 		if err := w.Write(&in); err != nil {
 			fatal(err)
 		}

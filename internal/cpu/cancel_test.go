@@ -1,0 +1,111 @@
+package cpu
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"entangling/internal/trace"
+)
+
+// endlessSource is an endless straight-line instruction stream: without
+// external cancellation a run over it never terminates, which makes it
+// the sharpest probe of the hot loop's cancellation polling.
+type endlessSource struct {
+	pc uint64
+}
+
+func (s *endlessSource) Next(in *trace.Instruction) bool {
+	*in = trace.Instruction{PC: 0x400000 + (s.pc % 4096), Size: 4}
+	s.pc += 4
+	return true
+}
+
+func TestRunWindowsCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := New(DefaultConfig())
+	_, err := m.RunWindowsCtx(ctx, &endlessSource{}, 1<<20, 1<<20)
+	if err == nil {
+		t.Fatal("pre-canceled run returned no error")
+	}
+	if ctx.Err() == nil || err.Error() != ctx.Err().Error() {
+		t.Errorf("err = %v, want %v", err, ctx.Err())
+	}
+}
+
+// TestRunWindowsCtxCancelsInfiniteRun: cancellation is the ONLY way
+// out of this run — if the hot loop's periodic poll were broken the
+// test would hang (bounded here by a generous watchdog).
+func TestRunWindowsCtxCancelsInfiniteRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := New(DefaultConfig())
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.RunWindowsCtx(ctx, &endlessSource{}, 1<<62, 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the loop get going
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled infinite run returned no error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not stop the simulation loop")
+	}
+}
+
+// TestRunWindowsCtxBackgroundMatchesRunWindows: under an uncancellable
+// context the ctx path must be bit-identical to the plain one — the
+// cancellation poll may not perturb simulation state.
+func TestRunWindowsCtxBackgroundMatchesRunWindows(t *testing.T) {
+	const warmup, measure = 50_000, 30_000
+
+	src1 := &endlessSource{}
+	plain := New(DefaultConfig()).RunWindows(src1, warmup, measure)
+
+	src2 := &endlessSource{}
+	viaCtx, err := New(DefaultConfig()).RunWindowsCtx(context.Background(), src2, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, viaCtx) {
+		t.Errorf("ctx run diverged from plain run:\nplain %+v\nctx   %+v", plain, viaCtx)
+	}
+}
+
+// TestRunWindowsCtxPartialConsumption: a run canceled mid-warmup must
+// not have consumed the whole stream — the loop really does stop at a
+// poll boundary instead of finishing the window first.
+func TestRunWindowsCtxPartialConsumption(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &endlessSource{}
+	m := New(DefaultConfig())
+
+	done := make(chan struct{})
+	go func() {
+		m.RunWindowsCtx(ctx, src, 1<<62, 1)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not stop the loop")
+	}
+	consumed := src.pc / 4
+	if consumed == 0 {
+		t.Fatal("loop never ran")
+	}
+	// The poll interval bounds overshoot: after cancel the loop may
+	// finish at most one interval's worth of instructions plus the
+	// in-flight window, nowhere near the 2^62 requested.
+	if consumed >= 1<<40 {
+		t.Errorf("loop consumed %d instructions after cancellation", consumed)
+	}
+}

@@ -19,6 +19,8 @@
 package cpu
 
 import (
+	"context"
+
 	"entangling/internal/bpred"
 	"entangling/internal/cache"
 	"entangling/internal/prefetch"
@@ -299,7 +301,7 @@ func (m *Machine) snap() snapshot {
 // Run consumes up to maxInstrs instructions from src and returns the
 // run's results. A Machine must not be reused across runs.
 func (m *Machine) Run(src trace.Source, maxInstrs uint64) Results {
-	m.consume(src, maxInstrs)
+	m.consume(src, maxInstrs, nil)
 	return m.resultsSince(snapshot{})
 }
 
@@ -307,16 +309,78 @@ func (m *Machine) Run(src trace.Source, maxInstrs uint64) Results {
 // paper uses a 20M-instruction warm-up, §IV-A), then a measurement
 // window, and returns results for the measurement window only.
 func (m *Machine) RunWindows(src trace.Source, warmup, measure uint64) Results {
-	m.consume(src, warmup)
+	m.consume(src, warmup, nil)
 	s := m.snap()
-	m.consume(src, warmup+measure)
+	m.consume(src, warmup+measure, nil)
 	return m.resultsSince(s)
 }
 
-// consume advances the pipeline until instrIdx reaches maxInstrs or the
-// source ends.
-func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
+// RunWindowsCtx is RunWindows with cooperative cancellation: the hot
+// loop polls ctx every cancelCheckInterval instructions and bails out
+// with ctx's error (context.Canceled or context.DeadlineExceeded) when
+// it fires. A canceled machine's partial state is consistent but its
+// results are not returned — a sweep treats the cell as not-run.
+// context.Background() has a nil Done channel, so the uncancellable
+// path stays on the allocation-free fast loop with no select.
+func (m *Machine) RunWindowsCtx(ctx context.Context, src trace.Source, warmup, measure uint64) (Results, error) {
+	done := ctx.Done()
+	if !m.consume(src, warmup, done) {
+		return Results{}, ctx.Err()
+	}
+	s := m.snap()
+	if !m.consume(src, warmup+measure, done) {
+		return Results{}, ctx.Err()
+	}
+	return m.resultsSince(s), nil
+}
+
+// cancelCheckInterval is how many instructions run between cancellation
+// polls: at the simulator's millions of instructions per second this
+// bounds cancellation latency to a few milliseconds while keeping the
+// per-instruction cost to one masked compare.
+const cancelCheckInterval = 1 << 14
+
+// consume advances the pipeline until instrIdx reaches maxInstrs, the
+// source ends, or done (when non-nil) fires. It reports whether the
+// run may continue: false means it was canceled.
+//
+// Cancellation is polled between fixed-size chunks, never inside the
+// hot loop: the uncancellable path (nil done) runs the whole window as
+// one chunk, and the cancellable path pays one channel poll per
+// cancelCheckInterval instructions — the per-instruction fast loop is
+// identical in both cases, so the BENCH fingerprint and wall-clock
+// are unaffected.
+func (m *Machine) consume(src trace.Source, maxInstrs uint64, done <-chan struct{}) bool {
+	// buf lives here, not in consumeChunk: src.Next(&buf) makes it
+	// escape, and allocating it per chunk would charge cancellable
+	// runs one heap allocation every cancelCheckInterval instructions.
 	var buf trace.Instruction
+	if done == nil {
+		m.consumeChunk(src, maxInstrs, &buf)
+		return true
+	}
+	for m.instrIdx < maxInstrs {
+		select {
+		case <-done:
+			return false
+		default:
+		}
+		limit := m.instrIdx + cancelCheckInterval
+		if limit > maxInstrs {
+			limit = maxInstrs
+		}
+		before := m.instrIdx
+		m.consumeChunk(src, limit, &buf)
+		if m.instrIdx == before {
+			break // source exhausted
+		}
+	}
+	return true
+}
+
+// consumeChunk advances the pipeline until instrIdx reaches maxInstrs
+// or the source ends. buf is scratch for non-slice sources.
+func (m *Machine) consumeChunk(src trace.Source, maxInstrs uint64, buf *trace.Instruction) {
 	// Cached traces are in-memory slices: iterate them in place, sparing
 	// the loop a per-instruction interface call and struct copy. The
 	// instructions are read-only (one cached trace replays under many
@@ -348,10 +412,10 @@ func (m *Machine) consume(src trace.Source, maxInstrs uint64) {
 			in = &span[spanIdx]
 			spanIdx++
 		} else {
-			if !src.Next(&buf) {
+			if !src.Next(buf) {
 				break
 			}
-			in = &buf
+			in = buf
 		}
 		virtLine := cache.LineAddr(in.PC)
 

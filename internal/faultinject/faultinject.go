@@ -1,0 +1,165 @@
+// Package faultinject is the repository's deterministic fault layer:
+// seed-driven injection of cell panics, cell errors, slow cells, trace
+// acquire failures and checkpoint-record corruption. The harness tests
+// use it to prove every recovery path of the sweep executor (panic
+// recovery, retry, deadline enforcement, checkpoint quarantine)
+// without any real nondeterminism — whether a given site faults is a
+// pure function of (seed, site), independent of goroutine scheduling,
+// parallelism and wall-clock time, so a "chaotic" test run is exactly
+// reproducible.
+//
+// The package deliberately knows nothing about the harness: it exposes
+// plain hook functions (CellHook, AcquireHook) matching the hook
+// signatures of harness.Options and workload.TraceCache, and the tests
+// wire them together.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"entangling/internal/stats"
+)
+
+// Plan configures which operations fault. Probabilities are evaluated
+// deterministically per site: a site either always rolls a fault or
+// never does, for a given seed.
+type Plan struct {
+	// Seed drives every injection decision.
+	Seed uint64
+
+	// CellPanicProb is the probability a sweep cell panics.
+	CellPanicProb float64
+	// CellErrorProb is the probability a sweep cell returns an error.
+	CellErrorProb float64
+	// CellSlowProb is the probability a sweep cell stalls for SlowDelay
+	// before running (exercises deadline enforcement).
+	CellSlowProb float64
+	// SlowDelay is how long a slow cell stalls.
+	SlowDelay time.Duration
+
+	// AcquireFailProb is the probability a TraceCache acquire fails.
+	AcquireFailProb float64
+
+	// FaultsPerSite bounds how many times one site faults: 0 means 1
+	// (a transient fault — the first attempt fails, a retry succeeds),
+	// a negative value means unbounded (a permanent fault that defeats
+	// every retry).
+	FaultsPerSite int
+}
+
+// Counts reports the faults actually injected.
+type Counts struct {
+	CellPanics      int
+	CellErrors      int
+	SlowCells       int
+	AcquireFailures int
+	RecordsCorrupted int
+}
+
+// Total returns the number of injected faults of all kinds.
+func (c Counts) Total() int {
+	return c.CellPanics + c.CellErrors + c.SlowCells + c.AcquireFailures + c.RecordsCorrupted
+}
+
+// Injector injects the faults of a Plan. Safe for concurrent use.
+type Injector struct {
+	plan Plan
+
+	mu     sync.Mutex
+	fired  map[string]int
+	counts Counts
+}
+
+// New returns an injector for the plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, fired: make(map[string]int)}
+}
+
+// roll decides whether the (kind, site) pair faults now. The decision
+// whether a site is fault-prone is stateless and deterministic; the
+// per-site budget (FaultsPerSite) is the only state, so "fail once,
+// then succeed" retry scenarios are reproducible too.
+func (in *Injector) roll(kind, site string, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if stats.UnitFloat(stats.Hash64(in.plan.Seed, kind, site)) >= prob {
+		return false
+	}
+	limit := in.plan.FaultsPerSite
+	if limit == 0 {
+		limit = 1
+	}
+	key := kind + "\x00" + site
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if limit > 0 && in.fired[key] >= limit {
+		return false
+	}
+	in.fired[key]++
+	return true
+}
+
+// CellHook matches harness.Options.CellHook: it runs at the start of
+// a sweep cell attempt and may panic, stall, or return an error.
+func (in *Injector) CellHook(config, workload string) error {
+	site := config + "/" + workload
+	if in.roll("panic", site, in.plan.CellPanicProb) {
+		in.add(func(c *Counts) { c.CellPanics++ })
+		panic(fmt.Sprintf("faultinject: injected panic in cell %s", site))
+	}
+	if in.roll("slow", site, in.plan.CellSlowProb) {
+		in.add(func(c *Counts) { c.SlowCells++ })
+		time.Sleep(in.plan.SlowDelay)
+	}
+	if in.roll("error", site, in.plan.CellErrorProb) {
+		in.add(func(c *Counts) { c.CellErrors++ })
+		return fmt.Errorf("faultinject: injected error in cell %s", site)
+	}
+	return nil
+}
+
+// AcquireHook matches workload.TraceCache's acquire hook: it runs
+// before a trace acquire and may fail it.
+func (in *Injector) AcquireHook(name string, n uint64) error {
+	if in.roll("acquire", name, in.plan.AcquireFailProb) {
+		in.add(func(c *Counts) { c.AcquireFailures++ })
+		return fmt.Errorf("faultinject: injected acquire failure for trace %s/%d", name, n)
+	}
+	return nil
+}
+
+// CorruptRecord returns a copy of b with a few deterministically
+// chosen bytes flipped — a model of a torn or bit-rotted checkpoint
+// record. The input is never modified. Corrupting an empty record
+// returns it unchanged.
+func (in *Injector) CorruptRecord(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return out
+	}
+	r := stats.SplitMix64(in.plan.Seed ^ uint64(len(out)))
+	for i := 0; i < 3; i++ {
+		r = stats.SplitMix64(r)
+		pos := int(r % uint64(len(out)))
+		// XOR with a nonzero byte guarantees the byte changes.
+		out[pos] ^= byte(1 + (r>>8)%255)
+	}
+	in.add(func(c *Counts) { c.RecordsCorrupted++ })
+	return out
+}
+
+// Stats returns the faults injected so far.
+func (in *Injector) Stats() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+func (in *Injector) add(f func(*Counts)) {
+	in.mu.Lock()
+	f(&in.counts)
+	in.mu.Unlock()
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -126,6 +127,13 @@ func PinnedBenchOptions() Options {
 // iterations (a changed hash means nondeterminism, which would make
 // the whole trajectory meaningless).
 func RunBench(label string, iterations int) (BenchPoint, error) {
+	return RunBenchCtx(context.Background(), label, iterations)
+}
+
+// RunBenchCtx is RunBench with cooperative cancellation: an interrupt
+// abandons the remaining iterations instead of leaving a half-measured
+// point behind.
+func RunBenchCtx(ctx context.Context, label string, iterations int) (BenchPoint, error) {
 	if iterations < 1 {
 		iterations = 1
 	}
@@ -174,7 +182,7 @@ func RunBench(label string, iterations int) (BenchPoint, error) {
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
-		s, err := RunSuite(specs, cfgs, opt)
+		s, err := RunSuiteCtx(ctx, specs, cfgs, opt)
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&m1)
 		if err != nil {

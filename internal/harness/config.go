@@ -6,8 +6,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"entangling/internal/cache"
 	"entangling/internal/core"
@@ -116,15 +118,45 @@ type Options struct {
 	// sweeps over the same specs (benchmark iterations) pin the specs
 	// in a shared cache once so repeat sweeps skip generation.
 	Traces *workload.TraceCache
+
+	// Retries is how many times a failed cell attempt is re-run before
+	// the cell is reported failed (0 = fail on first error). Canceled
+	// cells are never retried.
+	Retries int
+	// RetryBaseDelay is the backoff before the first retry; it doubles
+	// per further attempt with deterministic jitter. Zero retries
+	// immediately.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff growth (0 = 16x RetryBaseDelay).
+	RetryMaxDelay time.Duration
+	// CellTimeout bounds each cell attempt's wall-clock time; an
+	// attempt past its deadline is abandoned (and retried, if retries
+	// remain). Zero means no deadline.
+	CellTimeout time.Duration
+
+	// CellHook, when set, runs at the start of every cell attempt
+	// (fault injection in tests — see internal/faultinject). An error
+	// fails the attempt; a panic is recovered like any cell panic.
+	CellHook func(config, workload string) error
+
+	// Checkpoint, when non-nil, persists every completed cell to the
+	// store so an interrupted sweep can be resumed.
+	Checkpoint *CheckpointStore
+	// Resume makes RunSuite consult Checkpoint before running a cell
+	// and reuse any valid record with a matching fingerprint. Corrupt
+	// records are quarantined and their cells re-run.
+	Resume bool
 }
 
 // DefaultOptions returns the paperfigs defaults.
 func DefaultOptions() Options {
 	return Options{
-		Warmup:      2_000_000,
-		Measure:     1_000_000,
-		PerCategory: 6,
-		Parallelism: runtime.GOMAXPROCS(0),
+		Warmup:         2_000_000,
+		Measure:        1_000_000,
+		PerCategory:    6,
+		Parallelism:    runtime.GOMAXPROCS(0),
+		Retries:        2,
+		RetryBaseDelay: 100 * time.Millisecond,
 	}
 }
 
@@ -179,11 +211,21 @@ func Run(cfg Configuration, spec workload.Spec, warmup, measure uint64,
 // produces the same machine state — but the generation cost is paid
 // once per trace instead of once per run.
 func RunTrace(cfg Configuration, spec workload.Spec, tr *workload.Trace, warmup, measure uint64) (RunResult, error) {
+	return RunTraceCtx(context.Background(), cfg, spec, tr, warmup, measure)
+}
+
+// RunTraceCtx is RunTrace with cooperative cancellation: the
+// simulation loop polls ctx and abandons the run with ctx's error when
+// it fires. context.Background() keeps the uncancellable fast path.
+func RunTraceCtx(ctx context.Context, cfg Configuration, spec workload.Spec, tr *workload.Trace, warmup, measure uint64) (RunResult, error) {
 	m, err := machineFor(cfg, spec.Params.Seed, nil, nil)
 	if err != nil {
 		return RunResult{}, err
 	}
-	r := m.RunWindows(tr.Source(), warmup, measure)
+	r, err := m.RunWindowsCtx(ctx, tr.Source(), warmup, measure)
+	if err != nil {
+		return RunResult{}, err
+	}
 
 	out := RunResult{Config: cfg.Name, Workload: spec.Name, Category: spec.Params.Category, R: r}
 	if ent, ok := m.Prefetcher().(*core.Entangling); ok {

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"entangling/internal/stats"
 	"entangling/internal/workload"
@@ -19,9 +21,59 @@ type SuiteResults struct {
 	ConfigOrder []string
 	// WorkloadOrder preserves the workload order.
 	WorkloadOrder []string
+	// Failed lists the cells that produced no result, in deterministic
+	// order. Non-empty exactly when RunSuite also returned an error:
+	// the sweep degraded to these named holes instead of throwing away
+	// its completed cells.
+	Failed []*CellError
+	// Restored counts cells taken from the checkpoint store instead of
+	// being re-run (0 without Options.Resume).
+	Restored int
 }
 
-// RunSuite executes every configuration over every workload.
+// ErrCellCanceled marks a cell abandoned because the sweep's context
+// was canceled — the cell did not fail; it never (fully) ran. Test
+// with errors.Is against RunSuite's error or a CellError.
+var ErrCellCanceled = errors.New("cell canceled")
+
+// ErrCellPanic marks a cell whose simulation panicked; the panic was
+// recovered and degraded to this error so the rest of the sweep
+// survived.
+var ErrCellPanic = errors.New("cell panicked")
+
+// CellError attributes a sweep failure to its (configuration,
+// workload) cell.
+type CellError struct {
+	Config   string
+	Workload string
+	// Attempts is how many times the cell ran (1 without retries).
+	Attempts int
+	// Err is the final attempt's failure; unwrappable, so
+	// errors.Is(err, ErrCellPanic) etc. see through the cell context.
+	Err error
+}
+
+func (e *CellError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("cell %s/%s (after %d attempts): %v", e.Config, e.Workload, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("cell %s/%s: %v", e.Config, e.Workload, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Canceled reports whether the cell was abandoned by cancellation
+// rather than failing on its own.
+func (e *CellError) Canceled() bool { return errors.Is(e.Err, ErrCellCanceled) }
+
+// RunSuite executes every configuration over every workload. See
+// RunSuiteCtx for the execution model.
+func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteResults, error) {
+	return RunSuiteCtx(context.Background(), specs, cfgs, opt)
+}
+
+// RunSuiteCtx executes every configuration over every workload with
+// cooperative cancellation and per-cell fault tolerance.
 //
 // Each workload's instruction stream is materialized once in a shared
 // trace cache and reused read-only by every configuration: the sweep
@@ -30,7 +82,20 @@ type SuiteResults struct {
 // together and the cache's refcounting can evict each trace as soon as
 // its last configuration finishes — resident traces stay proportional
 // to the worker count, not the suite size.
-func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteResults, error) {
+//
+// A cell that panics, errors, or exceeds Options.CellTimeout is
+// retried up to Options.Retries times (exponential backoff with
+// deterministic jitter) and then degrades to a named *CellError in the
+// returned partial SuiteResults — one bad cell no longer throws away
+// every completed cell. Canceling ctx abandons the remaining cells
+// with ErrCellCanceled, which is distinguishable from genuine
+// failures. With Options.Checkpoint every completed cell is persisted
+// crash-safely, and Options.Resume reuses valid records so an
+// interrupted sweep re-runs only its missing cells.
+//
+// On any failure the error is non-nil and SuiteResults.Failed names
+// every unfinished cell; the completed cells in Runs remain usable.
+func RunSuiteCtx(ctx context.Context, specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteResults, error) {
 	out := &SuiteResults{Runs: make(map[string]map[string]RunResult)}
 	for _, c := range cfgs {
 		out.ConfigOrder = append(out.ConfigOrder, c.Name)
@@ -40,10 +105,42 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 		out.WorkloadOrder = append(out.WorkloadOrder, s.Name)
 	}
 
+	// Resume: restore checkpointed cells before scheduling any work, so
+	// the per-spec trace use counts below only cover cells that run.
+	restored := make(map[string]bool)
+	if opt.Checkpoint != nil && opt.Resume {
+		for _, s := range specs {
+			for _, c := range cfgs {
+				fp := CellFingerprint(c, s, opt.Warmup, opt.Measure)
+				rec, ok, err := opt.Checkpoint.Load(fp)
+				if err != nil {
+					return out, fmt.Errorf("harness: loading checkpoint: %w", err)
+				}
+				if ok && rec.Config == c.Name && rec.Workload == s.Name {
+					out.Runs[c.Name][s.Name] = rec.Result
+					restored[c.Name+"/"+s.Name] = true
+					out.Restored++
+				}
+			}
+		}
+	}
+
 	type job struct {
 		cfg  Configuration
 		spec workload.Spec
+		uses int
 	}
+	// uses declares, per spec, how many cells will acquire its trace —
+	// restored cells never touch the cache.
+	needs := make(map[string]int, len(specs))
+	for _, s := range specs {
+		for _, c := range cfgs {
+			if !restored[c.Name+"/"+s.Name] {
+				needs[s.Name]++
+			}
+		}
+	}
+
 	jobs := make(chan job)
 	results := make(chan RunResult, 8)
 
@@ -51,20 +148,16 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 	if cache == nil {
 		cache = workload.NewTraceCache()
 	}
-	traceLen := opt.Warmup + opt.Measure
 
-	// Every worker error is collected (not just the first), and each is
-	// wrapped with its (configuration, workload) cell so a multi-failure
-	// sweep report says exactly which cells died.
+	run := &suiteRunner{opt: opt, cache: cache, traceLen: opt.Warmup + opt.Measure}
+
+	// Every cell failure is collected (not just the first), each as a
+	// *CellError naming its (configuration, workload) cell, so a
+	// multi-failure sweep report says exactly which cells died and why.
 	var (
-		errMu   sync.Mutex
-		runErrs []error
+		errMu    sync.Mutex
+		cellErrs []*CellError
 	)
-	addErr := func(cfg Configuration, spec workload.Spec, err error) {
-		errMu.Lock()
-		runErrs = append(runErrs, fmt.Errorf("cell %s/%s: %w", cfg.Name, spec.Name, err))
-		errMu.Unlock()
-	}
 
 	workers := opt.Parallelism
 	if workers < 1 {
@@ -76,16 +169,11 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				tr, err := cache.Acquire(j.spec, traceLen, len(cfgs))
+				r, err := run.runCell(ctx, j.cfg, j.spec, j.uses)
 				if err != nil {
-					cache.Release(j.spec, traceLen)
-					addErr(j.cfg, j.spec, err)
-					continue
-				}
-				r, err := RunTrace(j.cfg, j.spec, tr, opt.Warmup, opt.Measure)
-				cache.Release(j.spec, traceLen)
-				if err != nil {
-					addErr(j.cfg, j.spec, err)
+					errMu.Lock()
+					cellErrs = append(cellErrs, err)
+					errMu.Unlock()
 					continue
 				}
 				results <- r
@@ -95,7 +183,10 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 	go func() {
 		for _, s := range specs {
 			for _, c := range cfgs {
-				jobs <- job{cfg: c, spec: s}
+				if restored[c.Name+"/"+s.Name] {
+					continue
+				}
+				jobs <- job{cfg: c, spec: s, uses: needs[s.Name]}
 			}
 		}
 		close(jobs)
@@ -105,16 +196,163 @@ func RunSuite(specs []workload.Spec, cfgs []Configuration, opt Options) (*SuiteR
 	for r := range results {
 		out.Runs[r.Config][r.Workload] = r
 	}
-	if len(runErrs) > 0 {
+	if len(cellErrs) > 0 {
 		// Worker scheduling is nondeterministic; sort so the combined
 		// error reads the same across runs and parallelism settings.
-		sort.Slice(runErrs, func(i, j int) bool {
-			return runErrs[i].Error() < runErrs[j].Error()
+		sort.Slice(cellErrs, func(i, j int) bool {
+			return cellErrs[i].Error() < cellErrs[j].Error()
 		})
-		return nil, fmt.Errorf("harness: %d of %d runs failed: %w",
-			len(runErrs), len(cfgs)*len(specs), errors.Join(runErrs...))
+		out.Failed = cellErrs
+		joined := make([]error, len(cellErrs))
+		for i, e := range cellErrs {
+			joined[i] = e
+		}
+		return out, fmt.Errorf("harness: %d of %d runs failed: %w",
+			len(cellErrs), len(cfgs)*len(specs), errors.Join(joined...))
 	}
 	return out, nil
+}
+
+// suiteRunner executes the cells of one sweep.
+type suiteRunner struct {
+	opt      Options
+	cache    *workload.TraceCache
+	traceLen uint64
+}
+
+// runCell runs one cell to completion: attempts with panic recovery
+// and deadline enforcement, bounded retries with jittered exponential
+// backoff between them, and checkpointing of the final result. The
+// returned *CellError (nil on success) carries the cell name, the
+// attempt count and the final cause.
+func (r *suiteRunner) runCell(ctx context.Context, cfg Configuration, spec workload.Spec, uses int) (RunResult, *CellError) {
+	maxAttempts := r.opt.Retries + 1
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	fail := func(attempts int, err error) (RunResult, *CellError) {
+		return RunResult{}, &CellError{Config: cfg.Name, Workload: spec.Name, Attempts: attempts, Err: err}
+	}
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fail(attempt-1, fmt.Errorf("%w: %v", ErrCellCanceled, err))
+		}
+		res, err := r.attemptCell(ctx, cfg, spec, uses)
+		if err == nil {
+			if r.opt.Checkpoint != nil {
+				rec := CellRecord{
+					SchemaVersion: CheckpointSchemaVersion,
+					Fingerprint:   CellFingerprint(cfg, spec, r.opt.Warmup, r.opt.Measure),
+					Config:        cfg.Name,
+					Workload:      spec.Name,
+					Result:        res,
+				}
+				if serr := r.opt.Checkpoint.Save(rec); serr != nil {
+					// A result that cannot be persisted would silently
+					// re-run after a crash; fail loudly instead.
+					return fail(attempt, fmt.Errorf("checkpointing result: %w", serr))
+				}
+			}
+			return res, nil
+		}
+		if errors.Is(err, ErrCellCanceled) {
+			return fail(attempt, err)
+		}
+		if attempt >= maxAttempts {
+			return fail(attempt, err)
+		}
+		if !sleepCtx(ctx, retryDelay(r.opt, cfg.Name, spec.Name, attempt)) {
+			return fail(attempt, fmt.Errorf("%w: %v", ErrCellCanceled, ctx.Err()))
+		}
+	}
+}
+
+// attemptCell runs one attempt of a cell. Panics anywhere in the cell
+// — the fault hook, trace materialization, the simulation itself — are
+// recovered into ErrCellPanic; a parent-context cancellation comes
+// back as ErrCellCanceled; everything else (including a blown
+// CellTimeout deadline) is an ordinary, retryable failure.
+func (r *suiteRunner) attemptCell(ctx context.Context, cfg Configuration, spec workload.Spec, uses int) (res RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v", ErrCellPanic, p)
+		}
+	}()
+
+	cellCtx := ctx
+	if r.opt.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, r.opt.CellTimeout)
+		defer cancel()
+	}
+	if r.opt.CellHook != nil {
+		if herr := r.opt.CellHook(cfg.Name, spec.Name); herr != nil {
+			return RunResult{}, herr
+		}
+	}
+	// A failed Acquire consumes no use and must not be Released; a
+	// retried cell acquires again, which at worst re-materializes a
+	// trace the refcounting already evicted (deterministic, so
+	// behaviour-preserving).
+	tr, aerr := r.cache.Acquire(spec, r.traceLen, uses)
+	if aerr != nil {
+		return RunResult{}, aerr
+	}
+	defer r.cache.Release(spec, r.traceLen)
+
+	res, rerr := RunTraceCtx(cellCtx, cfg, spec, tr, r.opt.Warmup, r.opt.Measure)
+	if rerr != nil {
+		if ctx.Err() != nil {
+			return RunResult{}, fmt.Errorf("%w: %v", ErrCellCanceled, ctx.Err())
+		}
+		// cellCtx expired on its own: a deadline failure, retryable.
+		return RunResult{}, rerr
+	}
+	return res, nil
+}
+
+// retryDelay returns the bounded, jittered exponential backoff before
+// retrying a cell whose attempt-th try failed. The jitter is a
+// deterministic function of the cell and attempt (see internal/stats),
+// so sweep timing has no hidden randomness.
+func retryDelay(opt Options, config, wl string, attempt int) time.Duration {
+	base := opt.RetryBaseDelay
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := base << uint(shift)
+	maxDelay := opt.RetryMaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 16 * base
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	// Jitter in [0, d/2]: decorrelates retry bursts across cells
+	// without exceeding 1.5x the nominal backoff.
+	span := uint64(d)/2 + 1
+	j := time.Duration(stats.Hash64(uint64(attempt), config, wl) % span)
+	return d + j
+}
+
+// sleepCtx sleeps for d unless ctx fires first; it reports whether the
+// full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // baselineFor returns the baseline run for a workload (the "no"

@@ -1,0 +1,52 @@
+package stats
+
+import "testing"
+
+func TestSplitMix64(t *testing.T) {
+	// Reference values from the canonical splitmix64 (Vigna), which
+	// pins the mixing constants against typo regressions.
+	if got := SplitMix64(0); got != 0xE220A8397B1DCDAF {
+		t.Errorf("SplitMix64(0) = %#x", got)
+	}
+	if SplitMix64(1) == SplitMix64(2) {
+		t.Error("adjacent seeds collide")
+	}
+}
+
+func TestHash64(t *testing.T) {
+	a := Hash64(1, "cfg", "wl")
+	if a != Hash64(1, "cfg", "wl") {
+		t.Error("Hash64 not deterministic")
+	}
+	if a == Hash64(2, "cfg", "wl") {
+		t.Error("seed not mixed in")
+	}
+	if a == Hash64(1, "cfg", "wl2") {
+		t.Error("parts not mixed in")
+	}
+	// The null separator keeps part boundaries significant.
+	if Hash64(1, "ab", "c") == Hash64(1, "a", "bc") {
+		t.Error("part boundaries not separated")
+	}
+}
+
+func TestUnitFloat(t *testing.T) {
+	if UnitFloat(0) != 0 {
+		t.Errorf("UnitFloat(0) = %v", UnitFloat(0))
+	}
+	if v := UnitFloat(^uint64(0)); v < 0 || v >= 1 {
+		t.Errorf("UnitFloat(max) = %v, want [0,1)", v)
+	}
+	// A quick uniformity sanity check over SplitMix64 output: the mean
+	// of many draws should sit near 1/2.
+	var sum float64
+	const n = 10_000
+	x := uint64(12345)
+	for i := 0; i < n; i++ {
+		x = SplitMix64(x)
+		sum += UnitFloat(x)
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("mean of %d draws = %v, want ~0.5", n, mean)
+	}
+}

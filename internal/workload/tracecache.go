@@ -64,6 +64,11 @@ type TraceCache struct {
 	// generation work is builds, not builds+hits).
 	builds uint64
 	hits   uint64
+
+	// acquireHook, when set, is consulted before every Acquire and may
+	// fail it (fault injection in tests). A hook-failed Acquire does
+	// not consume a use and must not be paired with a Release.
+	acquireHook func(name string, n uint64) error
 }
 
 type cacheKey struct {
@@ -98,6 +103,14 @@ func NewTraceCache() *TraceCache {
 func (c *TraceCache) Acquire(spec Spec, n uint64, uses int) (*Trace, error) {
 	if uses < 1 {
 		uses = 1
+	}
+	c.mu.Lock()
+	hook := c.acquireHook
+	c.mu.Unlock()
+	if hook != nil {
+		if err := hook(spec.Name, n); err != nil {
+			return nil, fmt.Errorf("workload: acquiring trace %s: %w", spec.Name, err)
+		}
 	}
 	key := cacheKey{name: spec.Name, n: n}
 	c.mu.Lock()
@@ -152,6 +165,17 @@ func (c *TraceCache) Release(spec Spec, n uint64) {
 	if e.remaining <= 0 {
 		delete(c.entries, key)
 	}
+}
+
+// SetAcquireHook installs (or, with nil, removes) a hook consulted
+// before every Acquire. A non-nil error from the hook fails the
+// Acquire without consuming a use: the caller must not Release it.
+// The hook exists for deterministic fault injection in tests (see
+// internal/faultinject).
+func (c *TraceCache) SetAcquireHook(h func(name string, n uint64) error) {
+	c.mu.Lock()
+	c.acquireHook = h
+	c.mu.Unlock()
 }
 
 // CacheStats reports materializations performed and shared reuses

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -172,5 +173,49 @@ func TestTraceCachePinSurvivesRelease(t *testing.T) {
 	c.Release(spec, 30)
 	if _, _, resident := c.CacheStats(); resident != 2 {
 		t.Errorf("late-pinned entry evicted (resident=%d)", resident)
+	}
+}
+
+func TestTraceCacheAcquireHook(t *testing.T) {
+	spec := testSpec(t)
+	c := NewTraceCache()
+
+	fail := errors.New("injected")
+	calls := 0
+	c.SetAcquireHook(func(name string, n uint64) error {
+		calls++
+		if name != spec.Name || n != 100 {
+			t.Errorf("hook saw (%s, %d), want (%s, 100)", name, n, spec.Name)
+		}
+		if calls == 1 {
+			return fail
+		}
+		return nil
+	})
+
+	// A hook-failed Acquire consumes no use and builds nothing.
+	if _, err := c.Acquire(spec, 100, 2); !errors.Is(err, fail) {
+		t.Fatalf("Acquire error = %v, want wrapped %v", err, fail)
+	}
+	if builds, hits, resident := c.CacheStats(); builds != 0 || hits != 0 || resident != 0 {
+		t.Fatalf("failed Acquire touched the cache: builds=%d hits=%d resident=%d", builds, hits, resident)
+	}
+
+	// The retry succeeds and the declared uses still drain the entry.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Acquire(spec, 100, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Release(spec, 100)
+	c.Release(spec, 100)
+	if _, _, resident := c.CacheStats(); resident != 0 {
+		t.Errorf("entry not evicted after declared uses (resident=%d)", resident)
+	}
+
+	// Removing the hook restores unconditional acquires.
+	c.SetAcquireHook(nil)
+	if _, err := c.Acquire(spec, 100, 1); err != nil {
+		t.Fatal(err)
 	}
 }
