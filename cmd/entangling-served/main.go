@@ -1,0 +1,57 @@
+// Command entangling-served runs the simulation job server: a
+// long-lived HTTP service that accepts {configurations x workloads x
+// windows} sweep jobs, executes them through the evaluation harness
+// with content-addressed result caching and singleflight
+// deduplication, streams per-cell progress over SSE, and drains
+// gracefully on SIGTERM/SIGINT (stop admitting, finish or checkpoint
+// in-flight cells, exit 0). See README.md, "Serving mode".
+//
+// Examples:
+//
+//	entangling-served -addr :8080 -checkpoint-dir /var/lib/entangling
+//	entangling-served -addr 127.0.0.1:0 -queue 4 -workers 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"entangling/internal/server"
+)
+
+func main() {
+	var cfg server.Config
+	flag.StringVar(&cfg.Addr, "addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	flag.StringVar(&cfg.CheckpointDir, "checkpoint-dir", "", "persist completed cells here and serve warm restarts from it")
+	flag.IntVar(&cfg.QueueCapacity, "queue", 16, "admitted-but-not-running job bound; beyond it submissions get 429")
+	flag.IntVar(&cfg.Workers, "workers", 2, "concurrently running jobs")
+	flag.IntVar(&cfg.CellParallelism, "cell-parallelism", 4, "concurrently resolving cells per job")
+	flag.IntVar(&cfg.MaxCells, "max-cells", 512, "largest sweep one job may request")
+	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 1<<20, "largest accepted submission body in bytes")
+	flag.IntVar(&cfg.PerCategory, "per-category", 6, "CVP workloads per category in the registry")
+	flag.IntVar(&cfg.Retries, "retries", 2, "per-cell retry budget")
+	flag.DurationVar(&cfg.RetryBaseDelay, "retry-base-delay", 100*time.Millisecond, "backoff before a cell's first retry")
+	flag.DurationVar(&cfg.CellTimeout, "cell-timeout", 0, "per-cell attempt deadline (0 = none)")
+	flag.BoolVar(&cfg.AllowFaults, "allow-faults", false, "accept fault_plan in submissions (testing)")
+	flag.DurationVar(&cfg.DrainGrace, "drain-grace", 10*time.Second, "how long a drain waits for running jobs before canceling them")
+	flag.Parse()
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -40,6 +40,7 @@ func main() {
 		resume      = flag.Bool("resume", false, "reuse valid records from -checkpoint instead of re-running their cells")
 		retries     = flag.Int("retries", 2, "re-run a failed sweep cell up to this many times")
 		cellTimeout = flag.Duration("cell-timeout", 0, "abandon (and retry) any sweep cell running longer than this (0 = no deadline)")
+		progress    = flag.Bool("progress", false, "log each sweep cell's lifecycle (start/retry/finish/fail) to stderr")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
@@ -56,6 +57,9 @@ func main() {
 		Warmup: *warmup, Measure: *measure, PerCategory: *perCat, Parallelism: 0,
 		Retries: *retries, RetryBaseDelay: 100 * time.Millisecond, CellTimeout: *cellTimeout,
 		Resume: *resume,
+	}
+	if *progress {
+		opt.Progress = logProgress
 	}
 	if *checkpoint != "" {
 		store, err := harness.OpenCheckpointStore(*checkpoint)
@@ -248,6 +252,29 @@ func main() {
 		}
 		emit(harness.Fig16(suite), "16")
 	}
+}
+
+// logProgress renders sweep lifecycle events for -progress. Fprintln
+// with a single preformatted string keeps each event on one line even
+// when workers emit concurrently.
+func logProgress(ev harness.CellEvent) {
+	cell := ev.Config + "/" + ev.Workload
+	var line string
+	switch ev.Type {
+	case harness.CellStarted:
+		line = fmt.Sprintf("cell %s: started", cell)
+	case harness.CellRetried:
+		line = fmt.Sprintf("cell %s: retrying (attempt %d)", cell, ev.Attempt)
+	case harness.CellFinished:
+		line = fmt.Sprintf("cell %s: finished in %v", cell, ev.Duration.Round(time.Millisecond))
+	case harness.CellFailed:
+		line = fmt.Sprintf("cell %s: FAILED after %d attempts: %v", cell, ev.Attempt, ev.Err)
+	case harness.CellRestored:
+		line = fmt.Sprintf("cell %s: restored from checkpoint", cell)
+	default:
+		return
+	}
+	fmt.Fprintln(os.Stderr, line)
 }
 
 func fatal(err error) {

@@ -24,29 +24,62 @@ import (
 
 // Plan configures which operations fault. Probabilities are evaluated
 // deterministically per site: a site either always rolls a fault or
-// never does, for a given seed.
+// never does, for a given seed. The JSON tags are the wire form the
+// job server accepts (durations travel as nanoseconds).
 type Plan struct {
 	// Seed drives every injection decision.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 
 	// CellPanicProb is the probability a sweep cell panics.
-	CellPanicProb float64
+	CellPanicProb float64 `json:"cell_panic_prob,omitempty"`
 	// CellErrorProb is the probability a sweep cell returns an error.
-	CellErrorProb float64
+	CellErrorProb float64 `json:"cell_error_prob,omitempty"`
 	// CellSlowProb is the probability a sweep cell stalls for SlowDelay
 	// before running (exercises deadline enforcement).
-	CellSlowProb float64
+	CellSlowProb float64 `json:"cell_slow_prob,omitempty"`
 	// SlowDelay is how long a slow cell stalls.
-	SlowDelay time.Duration
+	SlowDelay time.Duration `json:"slow_delay_ns,omitempty"`
 
 	// AcquireFailProb is the probability a TraceCache acquire fails.
-	AcquireFailProb float64
+	AcquireFailProb float64 `json:"acquire_fail_prob,omitempty"`
 
 	// FaultsPerSite bounds how many times one site faults: 0 means 1
 	// (a transient fault — the first attempt fails, a retry succeeds),
 	// a negative value means unbounded (a permanent fault that defeats
 	// every retry).
-	FaultsPerSite int
+	FaultsPerSite int `json:"faults_per_site,omitempty"`
+}
+
+// Enabled reports whether the plan injects anything at all: a zero
+// (or probability-free) Plan is a no-op and needs no Injector.
+func (p Plan) Enabled() bool {
+	return p.CellPanicProb > 0 || p.CellErrorProb > 0 ||
+		p.CellSlowProb > 0 || p.AcquireFailProb > 0
+}
+
+// Validate reports the first structural problem with a plan — out of
+// range probabilities or a negative stall — or nil. Plans arriving
+// from the network are validated before an Injector is built.
+func (p Plan) Validate() error {
+	probs := map[string]float64{
+		"cell_panic_prob":   p.CellPanicProb,
+		"cell_error_prob":   p.CellErrorProb,
+		"cell_slow_prob":    p.CellSlowProb,
+		"acquire_fail_prob": p.AcquireFailProb,
+	}
+	// Deterministic report order.
+	for _, name := range []string{"cell_panic_prob", "cell_error_prob", "cell_slow_prob", "acquire_fail_prob"} {
+		if v := probs[name]; v < 0 || v > 1 {
+			return fmt.Errorf("faultinject: %s %v outside [0,1]", name, v)
+		}
+	}
+	if p.SlowDelay < 0 {
+		return fmt.Errorf("faultinject: negative slow delay %v", p.SlowDelay)
+	}
+	if p.CellSlowProb > 0 && p.SlowDelay == 0 {
+		return fmt.Errorf("faultinject: cell_slow_prob set without slow_delay_ns")
+	}
+	return nil
 }
 
 // Counts reports the faults actually injected.

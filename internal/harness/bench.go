@@ -1,16 +1,13 @@
 package harness
 
 import (
-	"bufio"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
@@ -230,33 +227,6 @@ func metricsBytes(s *SuiteResults) []byte {
 		panic(err) // in-memory marshal of a plain struct cannot fail
 	}
 	return []byte(sb.String())
-}
-
-// readPeakRSS returns the process peak resident set size in bytes from
-// /proc/self/status (VmHWM), or 0 when unavailable.
-func readPeakRSS() uint64 {
-	f, err := os.Open("/proc/self/status")
-	if err != nil {
-		return 0
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "VmHWM:") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return 0
-		}
-		kb, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil {
-			return 0
-		}
-		return kb * 1024
-	}
-	return 0
 }
 
 // ValidateBenchPoint checks a point for schema conformance.

@@ -1,0 +1,37 @@
+//go:build linux
+
+package harness
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// readPeakRSS returns the process peak resident set size in bytes from
+// /proc/self/status (VmHWM), or 0 when unavailable.
+func readPeakRSS() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package harness
+
+// readPeakRSS reports 0 on platforms without a /proc high-water mark;
+// BenchPoint documents PeakRSSBytes == 0 as "not exposed here".
+func readPeakRSS() uint64 { return 0 }

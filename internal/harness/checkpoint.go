@@ -160,8 +160,12 @@ func (s *CheckpointStore) path(fingerprint string) string {
 	return filepath.Join(s.dir, fingerprint+".ckpt")
 }
 
-// Save atomically persists rec, replacing any previous record of the
-// same fingerprint.
+// Save atomically and durably persists rec, replacing any previous
+// record of the same fingerprint: the bytes are fsynced before the
+// rename and the directory is fsynced after it, so a record Save
+// reported committed survives power loss, not just process crash. A
+// failed Save removes its temp file — the store never accumulates
+// .tmp litter on error paths.
 func (s *CheckpointStore) Save(rec CellRecord) error {
 	b, err := EncodeCellRecord(rec)
 	if err != nil {
@@ -169,13 +173,46 @@ func (s *CheckpointStore) Save(rec CellRecord) error {
 	}
 	final := s.path(rec.Fingerprint)
 	tmp := final + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	if err := writeFileSync(tmp, b); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("harness: committing checkpoint: %w", err)
 	}
+	syncDir(s.dir)
 	return nil
+}
+
+// writeFileSync writes data to name and fsyncs it before closing, so
+// the bytes are on stable storage when it returns.
+func writeFileSync(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-committed rename in it is
+// durable. Best-effort: some platforms and filesystems reject fsync on
+// directories, and the rename's atomicity does not depend on it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
 }
 
 // Load returns the record stored for fingerprint, if any. A missing

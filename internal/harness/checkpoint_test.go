@@ -105,6 +105,56 @@ func TestCheckpointStoreSaveLoad(t *testing.T) {
 	}
 }
 
+// TestCheckpointStoreSaveErrorLeavesNoTemp: a Save that fails at any
+// stage — encoding, writing, or committing the rename — must clean up
+// after itself; the store directory never accumulates .tmp files that
+// a later crash-recovery scan would have to reason about.
+func TestCheckpointStoreSaveErrorLeavesNoTemp(t *testing.T) {
+	store, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTemps := func(when string) {
+		t.Helper()
+		if tmps, _ := filepath.Glob(filepath.Join(store.Dir(), "*.tmp")); len(tmps) != 0 {
+			t.Fatalf("%s left temp files behind: %v", when, tmps)
+		}
+	}
+
+	// Encode failure: rejected before any file is touched.
+	bad := sampleRecord()
+	bad.Fingerprint = ""
+	if err := store.Save(bad); err == nil {
+		t.Fatal("Save accepted a record without a fingerprint")
+	}
+	noTemps("encode failure")
+
+	// Commit failure: the destination path is occupied by a non-empty
+	// directory, so the rename cannot succeed no matter the platform
+	// or privilege level. The written temp file must be removed.
+	rec := sampleRecord()
+	final := filepath.Join(store.Dir(), rec.Fingerprint+".ckpt")
+	if err := os.MkdirAll(filepath.Join(final, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(rec); err == nil {
+		t.Fatal("Save reported success renaming onto a non-empty directory")
+	}
+	noTemps("commit failure")
+
+	// With the obstruction gone the same Save succeeds and is loadable.
+	if err := os.RemoveAll(final); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := store.Load(rec.Fingerprint); !ok || err != nil {
+		t.Fatalf("Load after recovered Save: ok %v, err %v", ok, err)
+	}
+	noTemps("successful save")
+}
+
 // TestCheckpointStoreQuarantinesCorruption: a corrupt or truncated
 // record must be quarantined (cell re-runs), never returned as a
 // result.

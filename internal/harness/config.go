@@ -102,6 +102,32 @@ func AblationConfigurations() []Configuration {
 	return out
 }
 
+// KnownConfigurations returns every named configuration the
+// repository defines — the §IV-B lineup, the ablation matrix, the
+// physical-address variants and the extension studies — deduplicated
+// by name, order-stable. The job server resolves client-requested
+// configuration names against this registry, so the network API can
+// only ever run vetted machine setups.
+func KnownConfigurations() []Configuration {
+	var all []Configuration
+	all = append(all, StandardConfigurations()...)
+	all = append(all, AblationConfigurations()...)
+	all = append(all, PhysicalConfigurations()...)
+	all = append(all, SplitConfigurations()...)
+	all = append(all, ContextConfigurations()...)
+	all = append(all, RetireConfigurations()...)
+	seen := make(map[string]bool, len(all))
+	out := all[:0]
+	for _, c := range all {
+		if seen[c.Name] {
+			continue
+		}
+		seen[c.Name] = true
+		out = append(out, c)
+	}
+	return out
+}
+
 // Options control suite execution.
 type Options struct {
 	// Warmup instructions are discarded (the paper warms caches before
@@ -138,6 +164,11 @@ type Options struct {
 	// (fault injection in tests — see internal/faultinject). An error
 	// fails the attempt; a panic is recovered like any cell panic.
 	CellHook func(config, workload string) error
+
+	// Progress, when set, observes every cell lifecycle transition of
+	// the sweep (started / retried / finished / failed / restored).
+	// Called concurrently from worker goroutines; see ProgressFunc.
+	Progress ProgressFunc
 
 	// Checkpoint, when non-nil, persists every completed cell to the
 	// store so an interrupted sweep can be resumed.

@@ -1,0 +1,57 @@
+package harness
+
+import "time"
+
+// This file defines the sweep progress hook: a per-cell lifecycle
+// event stream emitted by RunSuiteCtx. Both interactive CLIs
+// (cmd/paperfigs -progress) and the job server's SSE endpoint
+// (internal/server) consume it, so long sweeps are observable while
+// they run instead of only after they finish.
+
+// CellEventType labels a cell lifecycle transition.
+type CellEventType string
+
+// Cell lifecycle transitions, in the order a cell can traverse them.
+const (
+	// CellRestored: the cell was served from the checkpoint store and
+	// never ran (Options.Resume).
+	CellRestored CellEventType = "restored"
+	// CellStarted: the cell's first attempt began.
+	CellStarted CellEventType = "started"
+	// CellRetried: a further attempt began after a failure (Attempt is
+	// the new 1-based attempt number).
+	CellRetried CellEventType = "retried"
+	// CellFinished: the cell completed and its result was recorded
+	// (and checkpointed, when a store is configured).
+	CellFinished CellEventType = "finished"
+	// CellFailed: the cell degraded to a *CellError after exhausting
+	// its attempts (or being canceled).
+	CellFailed CellEventType = "failed"
+)
+
+// CellEvent reports one cell lifecycle transition of a running sweep.
+type CellEvent struct {
+	Type     CellEventType
+	Config   string
+	Workload string
+	// Attempt is the 1-based attempt number; 0 for restored cells.
+	Attempt int
+	// Duration is the cell's wall-clock time so far; set on finished
+	// and failed events.
+	Duration time.Duration
+	// Err is the *CellError of a failed event, nil otherwise.
+	Err error
+}
+
+// ProgressFunc observes cell lifecycle transitions. RunSuiteCtx calls
+// it from its worker goroutines, so implementations must be safe for
+// concurrent use and should return quickly — a slow observer stalls
+// the sweep.
+type ProgressFunc func(CellEvent)
+
+// emit calls the hook if one is installed.
+func (f ProgressFunc) emit(ev CellEvent) {
+	if f != nil {
+		f(ev)
+	}
+}

@@ -106,7 +106,7 @@ func RunSuiteCtx(ctx context.Context, specs []workload.Spec, cfgs []Configuratio
 	}
 
 	// Resume: restore checkpointed cells before scheduling any work, so
-	// the per-spec trace use counts below only cover cells that run.
+	// the per-spec pending-cell counts below only cover cells that run.
 	restored := make(map[string]bool)
 	if opt.Checkpoint != nil && opt.Resume {
 		for _, s := range specs {
@@ -120,6 +120,9 @@ func RunSuiteCtx(ctx context.Context, specs []workload.Spec, cfgs []Configuratio
 					out.Runs[c.Name][s.Name] = rec.Result
 					restored[c.Name+"/"+s.Name] = true
 					out.Restored++
+					opt.Progress.emit(CellEvent{
+						Type: CellRestored, Config: c.Name, Workload: s.Name,
+					})
 				}
 			}
 		}
@@ -128,10 +131,9 @@ func RunSuiteCtx(ctx context.Context, specs []workload.Spec, cfgs []Configuratio
 	type job struct {
 		cfg  Configuration
 		spec workload.Spec
-		uses int
 	}
-	// uses declares, per spec, how many cells will acquire its trace —
-	// restored cells never touch the cache.
+	// needs counts, per spec, how many cells will run (and therefore
+	// touch the trace cache) — restored cells never do.
 	needs := make(map[string]int, len(specs))
 	for _, s := range specs {
 		for _, c := range cfgs {
@@ -149,7 +151,10 @@ func RunSuiteCtx(ctx context.Context, specs []workload.Spec, cfgs []Configuratio
 		cache = workload.NewTraceCache()
 	}
 
-	run := &suiteRunner{opt: opt, cache: cache, traceLen: opt.Warmup + opt.Measure}
+	run := &suiteRunner{
+		opt: opt, cache: cache, traceLen: opt.Warmup + opt.Measure,
+		pending: needs, leased: make(map[string]bool, len(specs)),
+	}
 
 	// Every cell failure is collected (not just the first), each as a
 	// *CellError naming its (configuration, workload) cell, so a
@@ -169,7 +174,8 @@ func RunSuiteCtx(ctx context.Context, specs []workload.Spec, cfgs []Configuratio
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r, err := run.runCell(ctx, j.cfg, j.spec, j.uses)
+				r, err := run.runCell(ctx, j.cfg, j.spec)
+				run.cellDone(j.spec)
 				if err != nil {
 					errMu.Lock()
 					cellErrs = append(cellErrs, err)
@@ -186,7 +192,7 @@ func RunSuiteCtx(ctx context.Context, specs []workload.Spec, cfgs []Configuratio
 				if restored[c.Name+"/"+s.Name] {
 					continue
 				}
-				jobs <- job{cfg: c, spec: s, uses: needs[s.Name]}
+				jobs <- job{cfg: c, spec: s}
 			}
 		}
 		close(jobs)
@@ -218,6 +224,42 @@ type suiteRunner struct {
 	opt      Options
 	cache    *workload.TraceCache
 	traceLen uint64
+
+	// pending counts, per spec, the scheduled cells not yet terminal;
+	// leased marks the specs whose trace the sweep holds a keep-alive
+	// reference on (see holdTrace).
+	mu      sync.Mutex
+	pending map[string]int
+	leased  map[string]bool
+}
+
+// holdTrace keeps spec's trace resident until the sweep's last cell of
+// that spec completes: the first cell to materialize it takes one
+// extra sweep-held reference (dropped in cellDone), so the entry
+// survives the gaps between sequential cells even though each cell
+// holds its own reference only while running.
+func (r *suiteRunner) holdTrace(spec workload.Spec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.leased[spec.Name] || r.pending[spec.Name] <= 1 {
+		return
+	}
+	if r.cache.Retain(spec, r.traceLen) {
+		r.leased[spec.Name] = true
+	}
+}
+
+// cellDone marks one scheduled cell of spec terminal (completed,
+// failed, or abandoned) and drops the sweep's trace lease with the
+// last one.
+func (r *suiteRunner) cellDone(spec workload.Spec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending[spec.Name]--
+	if r.pending[spec.Name] <= 0 && r.leased[spec.Name] {
+		r.leased[spec.Name] = false
+		r.cache.Release(spec, r.traceLen)
+	}
 }
 
 // runCell runs one cell to completion: attempts with panic recovery
@@ -225,19 +267,34 @@ type suiteRunner struct {
 // backoff between them, and checkpointing of the final result. The
 // returned *CellError (nil on success) carries the cell name, the
 // attempt count and the final cause.
-func (r *suiteRunner) runCell(ctx context.Context, cfg Configuration, spec workload.Spec, uses int) (RunResult, *CellError) {
+func (r *suiteRunner) runCell(ctx context.Context, cfg Configuration, spec workload.Spec) (RunResult, *CellError) {
 	maxAttempts := r.opt.Retries + 1
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
+	start := time.Now()
 	fail := func(attempts int, err error) (RunResult, *CellError) {
-		return RunResult{}, &CellError{Config: cfg.Name, Workload: spec.Name, Attempts: attempts, Err: err}
+		cerr := &CellError{Config: cfg.Name, Workload: spec.Name, Attempts: attempts, Err: err}
+		r.opt.Progress.emit(CellEvent{
+			Type: CellFailed, Config: cfg.Name, Workload: spec.Name,
+			Attempt: attempts, Duration: time.Since(start), Err: cerr,
+		})
+		return RunResult{}, cerr
 	}
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return fail(attempt-1, fmt.Errorf("%w: %v", ErrCellCanceled, err))
 		}
-		res, err := r.attemptCell(ctx, cfg, spec, uses)
+		if attempt == 1 {
+			r.opt.Progress.emit(CellEvent{
+				Type: CellStarted, Config: cfg.Name, Workload: spec.Name, Attempt: attempt,
+			})
+		} else {
+			r.opt.Progress.emit(CellEvent{
+				Type: CellRetried, Config: cfg.Name, Workload: spec.Name, Attempt: attempt,
+			})
+		}
+		res, err := r.attemptCell(ctx, cfg, spec)
 		if err == nil {
 			if r.opt.Checkpoint != nil {
 				rec := CellRecord{
@@ -253,6 +310,10 @@ func (r *suiteRunner) runCell(ctx context.Context, cfg Configuration, spec workl
 					return fail(attempt, fmt.Errorf("checkpointing result: %w", serr))
 				}
 			}
+			r.opt.Progress.emit(CellEvent{
+				Type: CellFinished, Config: cfg.Name, Workload: spec.Name,
+				Attempt: attempt, Duration: time.Since(start),
+			})
 			return res, nil
 		}
 		if errors.Is(err, ErrCellCanceled) {
@@ -272,7 +333,7 @@ func (r *suiteRunner) runCell(ctx context.Context, cfg Configuration, spec workl
 // recovered into ErrCellPanic; a parent-context cancellation comes
 // back as ErrCellCanceled; everything else (including a blown
 // CellTimeout deadline) is an ordinary, retryable failure.
-func (r *suiteRunner) attemptCell(ctx context.Context, cfg Configuration, spec workload.Spec, uses int) (res RunResult, err error) {
+func (r *suiteRunner) attemptCell(ctx context.Context, cfg Configuration, spec workload.Spec) (res RunResult, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%w: %v", ErrCellPanic, p)
@@ -290,14 +351,15 @@ func (r *suiteRunner) attemptCell(ctx context.Context, cfg Configuration, spec w
 			return RunResult{}, herr
 		}
 	}
-	// A failed Acquire consumes no use and must not be Released; a
-	// retried cell acquires again, which at worst re-materializes a
-	// trace the refcounting already evicted (deterministic, so
-	// behaviour-preserving).
-	tr, aerr := r.cache.Acquire(spec, r.traceLen, uses)
+	// A failed Acquire takes no reference and must not be Released.
+	// The sweep's keep-alive lease (holdTrace) is taken while this
+	// cell still holds its own reference, so the trace survives the
+	// gaps between this sweep's sequential cells of the same spec.
+	tr, aerr := r.cache.Acquire(spec, r.traceLen)
 	if aerr != nil {
 		return RunResult{}, aerr
 	}
+	r.holdTrace(spec)
 	defer r.cache.Release(spec, r.traceLen)
 
 	res, rerr := RunTraceCtx(cellCtx, cfg, spec, tr, r.opt.Warmup, r.opt.Measure)

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entangling/internal/faultinject"
+	"entangling/internal/harness"
+	"entangling/internal/workload"
+)
+
+// This file is the server's content-addressed execution layer. A cell
+// — one (configuration, workload, windows) simulation — is identified
+// by harness.CellFingerprint, and resolving one walks a strict
+// hierarchy: the in-process result cache, the durable checkpoint
+// store (which is how a warm restart answers repeat jobs with zero
+// re-simulation), and finally a singleflighted "flight" that runs the
+// cell through harness.RunSuiteCtx exactly once no matter how many
+// concurrent jobs want it. Flights run on a detached context
+// refcounted by their subscribers, so one job canceling never kills a
+// simulation another job is still waiting on.
+
+// cellOutcome is a resolved cell: a result or a typed cell error,
+// plus where the result came from (Source* constants).
+type cellOutcome struct {
+	res    harness.RunResult
+	err    *harness.CellError
+	source string
+}
+
+// flight is one in-progress simulation of a cell, shared by every
+// subscriber that arrived before it finished.
+type flight struct {
+	done chan struct{}
+	res  harness.RunResult
+	err  *harness.CellError
+
+	// subscribers is the refcount of jobs waiting; when it reaches
+	// zero before the simulation finishes, cancel aborts the detached
+	// run (nobody wants the answer anymore).
+	subscribers int
+	cancel      context.CancelFunc
+
+	// listeners fan harness progress events (retries) out to the
+	// subscribed jobs' event logs.
+	lmu       sync.Mutex
+	listeners map[int]func(harness.CellEvent)
+	nextLis   int
+}
+
+func (f *flight) addListener(fn func(harness.CellEvent)) int {
+	f.lmu.Lock()
+	defer f.lmu.Unlock()
+	id := f.nextLis
+	f.nextLis++
+	f.listeners[id] = fn
+	return id
+}
+
+func (f *flight) dropListener(id int) {
+	f.lmu.Lock()
+	delete(f.listeners, id)
+	f.lmu.Unlock()
+}
+
+func (f *flight) broadcast(ev harness.CellEvent) {
+	f.lmu.Lock()
+	fns := make([]func(harness.CellEvent), 0, len(f.listeners))
+	for _, fn := range f.listeners {
+		fns = append(fns, fn)
+	}
+	f.lmu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// executor resolves cells against the cache hierarchy and runs the
+// simulations that miss everywhere.
+type executor struct {
+	traces *workload.TraceCache
+	store  *harness.CheckpointStore // nil without -checkpoint-dir
+	opts   execOptions
+	stats  *counters
+
+	mu      sync.Mutex
+	mem     map[string]harness.RunResult
+	memFIFO []string
+	flights map[string]*flight
+}
+
+// execOptions is the per-cell execution policy every flight runs
+// under.
+type execOptions struct {
+	retries        int
+	retryBaseDelay time.Duration
+	cellTimeout    time.Duration
+	memCap         int
+}
+
+func newExecutor(traces *workload.TraceCache, store *harness.CheckpointStore, opts execOptions, stats *counters) *executor {
+	if opts.memCap <= 0 {
+		opts.memCap = 4096
+	}
+	return &executor{
+		traces:  traces,
+		store:   store,
+		opts:    opts,
+		stats:   stats,
+		mem:     make(map[string]harness.RunResult),
+		flights: make(map[string]*flight),
+	}
+}
+
+// resolveCell obtains the cell's result for one subscriber job. The
+// progress callback receives the harness lifecycle events of a live
+// simulation this job is subscribed to (retries, for the event
+// stream); it may be nil.
+func (x *executor) resolveCell(jobCtx context.Context, cfg harness.Configuration, spec workload.Spec,
+	fp string, warmup, measure uint64, plan *faultinject.Plan, progress func(harness.CellEvent)) cellOutcome {
+
+	canceledOutcome := func() cellOutcome {
+		return cellOutcome{err: &harness.CellError{
+			Config: cfg.Name, Workload: spec.Name,
+			Err: fmt.Errorf("%w: %v", harness.ErrCellCanceled, context.Cause(jobCtx)),
+		}}
+	}
+
+	for {
+		if jobCtx.Err() != nil {
+			return canceledOutcome()
+		}
+		// 1. In-process result cache.
+		if res, ok := x.memGet(fp); ok {
+			x.stats.inc(&x.stats.cellsCacheMemory)
+			return cellOutcome{res: res, source: SourceCacheMemory}
+		}
+		// 2. Durable checkpoint store: a warm restart serves repeat
+		// jobs from here with zero re-simulation.
+		if x.store != nil {
+			if rec, ok, err := x.store.Load(fp); err == nil && ok &&
+				rec.Config == cfg.Name && rec.Workload == spec.Name {
+				x.memPut(fp, rec.Result)
+				x.stats.inc(&x.stats.cellsCacheStore)
+				return cellOutcome{res: rec.Result, source: SourceCacheStore}
+			}
+		}
+		// 3. Singleflight: join the in-progress simulation, or start it.
+		key := flightKey(fp, plan)
+		f, created := x.joinFlight(key)
+		source := SourceShared
+		if created {
+			source = SourceSimulated
+			go x.runFlight(f, key, cfg, spec, fp, warmup, measure, plan)
+		}
+		var lis int
+		if progress != nil {
+			lis = f.addListener(progress)
+		}
+		select {
+		case <-f.done:
+		case <-jobCtx.Done():
+			if progress != nil {
+				f.dropListener(lis)
+			}
+			x.leaveFlight(key, f)
+			return canceledOutcome()
+		}
+		if progress != nil {
+			f.dropListener(lis)
+		}
+		x.leaveFlight(key, f)
+		if f.err != nil && f.err.Canceled() && jobCtx.Err() == nil {
+			// The flight died with its initiator's cancellation, not
+			// ours: retry — the next loop starts (or joins) a fresh
+			// flight, or hits the cache if a racer finished it.
+			continue
+		}
+		if f.err != nil {
+			return cellOutcome{err: f.err, source: source}
+		}
+		return cellOutcome{res: f.res, source: source}
+	}
+}
+
+// flightKey separates fault-injected flights from clean ones: a
+// faulty job must never donate a failure to (or steal a success from)
+// a clean job's identical cell.
+func flightKey(fp string, plan *faultinject.Plan) string {
+	if plan == nil {
+		return fp
+	}
+	return fp + "|faults"
+}
+
+// joinFlight subscribes to the cell's flight, creating it if absent;
+// created reports whether this caller must run it.
+func (x *executor) joinFlight(key string) (f *flight, created bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if f, ok := x.flights[key]; ok {
+		f.subscribers++
+		x.stats.inc(&x.stats.cellsShared)
+		return f, false
+	}
+	f = &flight{
+		done:      make(chan struct{}),
+		listeners: make(map[int]func(harness.CellEvent)),
+	}
+	f.subscribers = 1
+	x.flights[key] = f
+	return f, true
+}
+
+// leaveFlight drops one subscription; the last leaver of an
+// unfinished flight cancels the detached simulation.
+func (x *executor) leaveFlight(key string, f *flight) {
+	x.mu.Lock()
+	f.subscribers--
+	abandon := f.subscribers <= 0
+	if abandon && x.flights[key] == f {
+		delete(x.flights, key)
+	}
+	x.mu.Unlock()
+	if abandon {
+		select {
+		case <-f.done:
+		default:
+			if f.cancel != nil {
+				f.cancel()
+			}
+		}
+	}
+}
+
+// runFlight executes the cell through harness.RunSuiteCtx on a
+// detached context (canceled only when every subscriber leaves). The
+// harness provides retries, panic recovery, deadline enforcement and
+// checkpoint persistence; successful results are published to the
+// in-process cache.
+func (x *executor) runFlight(f *flight, key string, cfg harness.Configuration, spec workload.Spec,
+	fp string, warmup, measure uint64, plan *faultinject.Plan) {
+
+	ctx, cancel := context.WithCancel(context.Background())
+	x.mu.Lock()
+	f.cancel = cancel
+	alive := f.subscribers > 0
+	x.mu.Unlock()
+	defer cancel()
+	if !alive {
+		// Every subscriber left between joinFlight and here.
+		cancel()
+	}
+
+	opt := harness.Options{
+		Warmup:         warmup,
+		Measure:        measure,
+		Parallelism:    1,
+		Traces:         x.traces,
+		Retries:        x.opts.retries,
+		RetryBaseDelay: x.opts.retryBaseDelay,
+		CellTimeout:    x.opts.cellTimeout,
+		Checkpoint:     x.store,
+		Progress:       f.broadcast,
+	}
+	if plan != nil {
+		opt.CellHook = faultinject.New(*plan).CellHook
+	}
+
+	s, err := harness.RunSuiteCtx(ctx, []workload.Spec{spec}, []harness.Configuration{cfg}, opt)
+	if err != nil {
+		cerr := firstCellError(err, s)
+		if cerr == nil {
+			cerr = &harness.CellError{Config: cfg.Name, Workload: spec.Name, Err: err}
+		}
+		f.err = cerr
+	} else {
+		f.res = s.Runs[cfg.Name][spec.Name]
+		x.memPut(fp, f.res)
+		x.stats.inc(&x.stats.cellsSimulated)
+	}
+	// Retire the flight before publishing completion: later resolvers
+	// take the cache path for successes and a fresh flight for
+	// failures, so a failed simulation is never served as a sticky
+	// cached error.
+	x.mu.Lock()
+	if x.flights[key] == f {
+		delete(x.flights, key)
+	}
+	x.mu.Unlock()
+	close(f.done)
+}
+
+// firstCellError extracts the typed cell error of a one-cell sweep.
+func firstCellError(err error, s *harness.SuiteResults) *harness.CellError {
+	if s != nil && len(s.Failed) > 0 {
+		return s.Failed[0]
+	}
+	var cerr *harness.CellError
+	if errors.As(err, &cerr) {
+		return cerr
+	}
+	return nil
+}
+
+func (x *executor) memGet(fp string) (harness.RunResult, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	r, ok := x.mem[fp]
+	return r, ok
+}
+
+// memPut caches a successful result, evicting oldest-inserted entries
+// past the cap (results are immutable and re-derivable, so FIFO is
+// good enough — the durable tier below never evicts).
+func (x *executor) memPut(fp string, r harness.RunResult) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, ok := x.mem[fp]; ok {
+		return
+	}
+	x.mem[fp] = r
+	x.memFIFO = append(x.memFIFO, fp)
+	for len(x.memFIFO) > x.opts.memCap {
+		evict := x.memFIFO[0]
+		x.memFIFO = x.memFIFO[1:]
+		delete(x.mem, evict)
+	}
+}

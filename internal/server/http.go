@@ -1,0 +1,317 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the HTTP surface of the job server: the /v1 JSON API,
+// the SSE progress stream, and the health/metrics endpoints. Routing
+// uses Go 1.22 method+pattern ServeMux matching; everything is
+// stdlib.
+
+// errorDoc is the JSON body of every non-2xx response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// submitResponse is the POST /v1/jobs body: the job identity plus
+// resource links, so clients need no URL templating.
+type submitResponse struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Deduped  bool   `json:"deduped"`
+	Cells    int    `json:"cells"`
+	Status   string `json:"status_url"`
+	Events   string `json:"events_url"`
+	Result   string `json:"result_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := parseJobRequest(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, err := s.reg.resolve(req, s.cfg.Budget, s.cfg.MaxCells, s.cfg.AllowFaults)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	j, existed, err := s.submit(spec)
+	switch {
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			"job queue full (%d jobs); retry later", s.cfg.QueueCapacity)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	status := http.StatusAccepted
+	if existed {
+		status = http.StatusOK
+	}
+	doc := j.status()
+	writeJSON(w, status, submitResponse{
+		ID:      doc.ID,
+		State:   doc.State,
+		Deduped: existed,
+		Cells:   doc.Cells.Total,
+		Status:  "/v1/jobs/" + doc.ID,
+		Events:  "/v1/jobs/" + doc.ID + "/events",
+		Result:  "/v1/jobs/" + doc.ID + "/result",
+	})
+}
+
+// retryAfterSeconds estimates a Retry-After hint from queue pressure:
+// one drained queue slot per running-job completion, so the deeper
+// the backlog relative to workers, the longer the hint.
+func (s *Server) retryAfterSeconds() int {
+	backlog := len(s.queue)
+	per := 2 // seconds; a guess that scales with backlog, not accuracy
+	sec := (backlog/s.cfg.Workers + 1) * per
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	b, state, terminal := j.resultBytes()
+	if !terminal {
+		w.Header().Set("Retry-After", "2")
+		writeJSON(w, http.StatusAccepted, StatusDoc{ID: j.spec.id, State: state, Cells: j.status().Cells})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleEvents streams the job's progress log as Server-Sent Events.
+// The full history replays from the start (or from Last-Event-ID on
+// reconnect), then the stream follows the live tail and ends after
+// the terminal job.done event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	cursor := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil && n > 0 {
+			cursor = n
+		}
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		events, wake, closed := j.log.snapshotAfter(cursor)
+		for _, ev := range events {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.data())
+			cursor = ev.Seq
+		}
+		if len(events) > 0 {
+			fl.Flush()
+			continue
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			// Drain closes streams promptly so Shutdown is not held
+			// open by idle followers; clients reconnect elsewhere.
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the counter set in Prometheus text exposition
+// format (hand-written; the API is stable and dependency-free).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	ld := func(f *uint64) uint64 { return atomic.LoadUint64(f) }
+
+	c := &s.stats
+	counter("entangling_jobs_submitted_total", "Jobs admitted to the queue.", ld(&c.jobsSubmitted))
+	counter("entangling_jobs_deduped_total", "Submissions answered by an existing identical job.", ld(&c.jobsDeduped))
+	counter("entangling_jobs_rejected_total", "Submissions rejected with 429 (queue full).", ld(&c.jobsRejected))
+	counter("entangling_jobs_completed_total", "Jobs finished with every cell successful.", ld(&c.jobsCompleted))
+	counter("entangling_jobs_degraded_total", "Jobs finished with typed partial results.", ld(&c.jobsDegraded))
+	counter("entangling_jobs_failed_total", "Jobs finished with every cell failed.", ld(&c.jobsFailed))
+	counter("entangling_jobs_canceled_total", "Jobs canceled before completion.", ld(&c.jobsCanceled))
+
+	counter("entangling_cells_simulated_total", "Cells resolved by running the simulator.", ld(&c.cellsSimulated))
+	counter("entangling_cells_cache_memory_total", "Cells served from the in-process result cache.", ld(&c.cellsCacheMemory))
+	counter("entangling_cells_cache_store_total", "Cells served from the durable checkpoint store.", ld(&c.cellsCacheStore))
+	counter("entangling_cells_shared_total", "Cells that joined another job's in-flight simulation.", ld(&c.cellsShared))
+	counter("entangling_cells_failed_total", "Cells that produced a typed failure.", ld(&c.cellsFailed))
+
+	builds, hits, resident := s.traces.CacheStats()
+	counter("entangling_trace_builds_total", "Workload trace materializations performed.", builds)
+	counter("entangling_trace_hits_total", "Workload trace cache hits.", hits)
+	gauge("entangling_trace_resident", "Workload traces currently resident.", resident)
+
+	s.mu.Lock()
+	running, known := s.running, len(s.jobs)
+	s.mu.Unlock()
+	gauge("entangling_queue_depth", "Jobs admitted but not yet running.", len(s.queue))
+	gauge("entangling_jobs_running", "Jobs currently executing.", running)
+	gauge("entangling_jobs_known", "Jobs currently remembered (any state).", known)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, sb.String())
+}
+
+// Run listens on cfg.Addr and serves until ctx is canceled, then
+// drains gracefully: admission stops, queued jobs cancel, running
+// jobs get the grace period, the checkpoint store is already durable
+// per-cell, and the HTTP server shuts down. Returns nil on a clean
+// drain. The bound address is logged (and available via Addr) so
+// callers can use ":0".
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.addr.Store(ln.Addr().String())
+	s.cfg.Logf("server: listening on %s", ln.Addr())
+
+	s.Start()
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("server: %w", err)
+	case <-ctx.Done():
+	}
+
+	s.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		hs.Close()
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	return nil
+}
+
+// Addr returns the bound listen address once Run has started
+// listening ("" before that).
+func (s *Server) Addr() string {
+	if v := s.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}

@@ -1,0 +1,514 @@
+// Package server turns the batch evaluation harness into a long-lived
+// simulation service: an HTTP/JSON API that accepts {configurations x
+// workloads x windows} sweep jobs, executes their cells through
+// harness.RunSuiteCtx on a bounded worker pool, streams per-cell
+// progress over SSE, and answers repeat work from a content-addressed
+// result cache (in-process + the durable checkpoint store) with
+// singleflight deduplication — identical cells submitted by any
+// number of concurrent clients simulate exactly once. Admission is
+// bounded (429 + Retry-After when the queue is full) and shutdown is
+// a graceful drain: stop admitting, let in-flight cells finish and
+// checkpoint, then exit cleanly.
+package server
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entangling/internal/harness"
+	"entangling/internal/workload"
+)
+
+// Config assembles a Server. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Addr is the listen address for Run (e.g. ":8080", "127.0.0.1:0").
+	Addr string
+
+	// QueueCapacity bounds the jobs admitted but not yet running;
+	// submissions beyond it are rejected with 429 (default 16).
+	QueueCapacity int
+	// Workers bounds concurrently running jobs (default 2).
+	Workers int
+	// CellParallelism bounds concurrently resolving cells within one
+	// job (default 4).
+	CellParallelism int
+	// MaxCells caps a single job's sweep size (default 512 cells).
+	MaxCells int
+	// MaxBodyBytes caps the submission body (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxJobs caps remembered jobs; the oldest terminal jobs are
+	// forgotten past it (default 256).
+	MaxJobs int
+
+	// PerCategory sizes the CVP workload registry (default 6, the
+	// paperfigs default, so every curated workload name resolves).
+	PerCategory int
+	// Budget bounds per-workload resource use; zero value means
+	// workload.DefaultBudget.
+	Budget workload.Budget
+
+	// CheckpointDir, when set, persists every simulated cell and
+	// serves warm restarts; empty disables durability.
+	CheckpointDir string
+
+	// Retries, RetryBaseDelay and CellTimeout are the per-cell fault
+	// tolerance policy (see harness.Options).
+	Retries        int
+	RetryBaseDelay time.Duration
+	CellTimeout    time.Duration
+
+	// AllowFaults permits fault_plan in submissions (testing only).
+	AllowFaults bool
+
+	// DrainGrace is how long Drain waits for running jobs before
+	// canceling them (default 10s).
+	DrainGrace time.Duration
+
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CellParallelism <= 0 {
+		c.CellParallelism = 4
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 512
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.PerCategory <= 0 {
+		c.PerCategory = 6
+	}
+	if (c.Budget == workload.Budget{}) {
+		c.Budget = workload.DefaultBudget()
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// counters is the server's Prometheus-exported counter set. All
+// fields are read with atomic loads by the /metrics handler.
+type counters struct {
+	jobsSubmitted uint64
+	jobsDeduped   uint64
+	jobsRejected  uint64 // queue-full 429s
+	jobsCompleted uint64
+	jobsDegraded  uint64
+	jobsFailed    uint64
+	jobsCanceled  uint64
+
+	cellsSimulated   uint64
+	cellsCacheMemory uint64
+	cellsCacheStore  uint64
+	cellsShared      uint64
+	cellsFailed      uint64
+}
+
+func (c *counters) inc(f *uint64) { atomic.AddUint64(f, 1) }
+
+// Server is the simulation job service. Create with New, serve its
+// Handler (or call Run), and stop with Drain.
+type Server struct {
+	cfg    Config
+	reg    *registries
+	traces *workload.TraceCache
+	store  *harness.CheckpointStore
+	exec   *executor
+	stats  counters
+
+	queue chan *job
+	// draining is closed when admission stops; drained is closed when
+	// the last worker exits.
+	draining chan struct{}
+	drained  chan struct{}
+	drainOne sync.Once
+	workers  sync.WaitGroup
+
+	// addr holds the bound listen address once Run is listening.
+	addr atomic.Value
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string
+	running  int
+}
+
+// New builds a Server (opening the checkpoint store when configured)
+// without starting its workers; call Start, or let Run do it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      newRegistries(cfg.PerCategory),
+		traces:   workload.NewTraceCache(),
+		queue:    make(chan *job, cfg.QueueCapacity),
+		draining: make(chan struct{}),
+		drained:  make(chan struct{}),
+		jobs:     make(map[string]*job),
+	}
+	if cfg.CheckpointDir != "" {
+		store, err := harness.OpenCheckpointStore(cfg.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.store = store
+	}
+	s.exec = newExecutor(s.traces, s.store, execOptions{
+		retries:        cfg.Retries,
+		retryBaseDelay: cfg.RetryBaseDelay,
+		cellTimeout:    cfg.CellTimeout,
+	}, &s.stats)
+	return s, nil
+}
+
+// Start launches the worker pool. Safe to call once.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	go func() {
+		s.workers.Wait()
+		close(s.drained)
+	}()
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.draining:
+			// Drain the queue: jobs still waiting are finalized as
+			// canceled rather than silently forgotten.
+			for {
+				select {
+				case j := <-s.queue:
+					j.cancel()
+					if j.finalize() {
+						s.countTerminal(j)
+					}
+				default:
+					return
+				}
+			}
+		case j := <-s.queue:
+			s.setRunning(+1)
+			s.runJob(j)
+			s.setRunning(-1)
+		}
+	}
+}
+
+func (s *Server) setRunning(d int) {
+	s.mu.Lock()
+	s.running += d
+	s.mu.Unlock()
+}
+
+// runJob resolves every cell of the job — workload-major, so cells
+// sharing a trace run close together — with bounded parallelism. A
+// per-workload trace reference is held from the workload's first cell
+// until its last, so the job pays one materialization per workload no
+// matter how its cells interleave.
+func (s *Server) runJob(j *job) {
+	if !j.start() {
+		// Canceled while queued; already finalized by the cancel path.
+		return
+	}
+
+	type cellJob struct {
+		cfg  harness.Configuration
+		spec workload.Spec
+	}
+	var cells []cellJob
+	for _, spec := range j.spec.specs {
+		for _, cfg := range j.spec.cfgs {
+			cells = append(cells, cellJob{cfg: cfg, spec: spec})
+		}
+	}
+
+	lease := newTraceLease(s.traces, j.spec.traceLen(), j.spec.specs, len(j.spec.cfgs))
+
+	sem := make(chan struct{}, s.cfg.CellParallelism)
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c cellJob) {
+			defer func() { <-sem; wg.Done() }()
+			s.runCell(j, c.cfg, c.spec, lease)
+			lease.cellDone(c.spec)
+		}(c)
+	}
+	wg.Wait()
+	lease.releaseAll()
+
+	if j.finalize() {
+		s.countTerminal(j)
+	}
+	doc := j.status()
+	s.cfg.Logf("server: job %s %s (%d/%d cells, %d simulated, %d cached, %d shared, %d failed)",
+		doc.ID, doc.State, doc.Cells.Done, doc.Cells.Total,
+		doc.Cells.Simulated, doc.Cells.CacheMemory+doc.Cells.CacheStore,
+		doc.Cells.Shared, doc.Cells.Failed)
+}
+
+// runCell resolves one cell and records the outcome on the job.
+func (s *Server) runCell(j *job, cfg harness.Configuration, spec workload.Spec, lease *traceLease) {
+	fp := j.spec.fingerprints[cfg.Name][spec.Name]
+	j.log.append(Event{Type: EventCellStarted, Config: cfg.Name, Workload: spec.Name})
+	start := time.Now()
+
+	progress := func(ev harness.CellEvent) {
+		if ev.Type == harness.CellRetried {
+			j.log.append(Event{
+				Type: EventCellRetried, Config: ev.Config, Workload: ev.Workload,
+				Attempt: ev.Attempt,
+			})
+		}
+	}
+	out := s.exec.resolveCell(j.ctx, cfg, spec, fp, j.spec.warmup, j.spec.measure, j.spec.plan, progress)
+	elapsed := time.Since(start).Milliseconds()
+	if out.source == SourceSimulated || out.source == SourceShared {
+		// A live simulation just materialized (or reused) this
+		// workload's trace; keep it resident for the job's remaining
+		// cells of the same workload.
+		lease.hold(spec)
+	}
+	if out.err != nil {
+		s.stats.inc(&s.stats.cellsFailed)
+		j.recordFailure(out.err, elapsed)
+		return
+	}
+	j.recordResult(out.res, out.source, elapsed)
+}
+
+// countTerminal bumps the job outcome counter for a finalized job.
+func (s *Server) countTerminal(j *job) {
+	_, state, _ := j.resultBytes()
+	switch state {
+	case StateCompleted:
+		s.stats.inc(&s.stats.jobsCompleted)
+	case StateDegraded:
+		s.stats.inc(&s.stats.jobsDegraded)
+	case StateFailed:
+		s.stats.inc(&s.stats.jobsFailed)
+	case StateCanceled:
+		s.stats.inc(&s.stats.jobsCanceled)
+	}
+}
+
+// submit admits a resolved job, deduplicating by content address.
+// The returned bool reports whether the job already existed; a nil
+// job with errFull means the queue rejected the submission.
+var errQueueFull = fmt.Errorf("server: job queue full")
+var errDraining = fmt.Errorf("server: draining, not admitting jobs")
+
+func (s *Server) submit(spec *jobSpec) (*job, bool, error) {
+	select {
+	case <-s.draining:
+		return nil, false, errDraining
+	default:
+	}
+
+	s.mu.Lock()
+	if existing, ok := s.jobs[spec.id]; ok {
+		s.mu.Unlock()
+		s.stats.inc(&s.stats.jobsDeduped)
+		return existing, true, nil
+	}
+	j := newJob(spec)
+	s.jobs[spec.id] = j
+	s.jobOrder = append(s.jobOrder, spec.id)
+	s.pruneJobsLocked()
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.stats.inc(&s.stats.jobsSubmitted)
+		return j, false, nil
+	default:
+		// Queue full: withdraw the registration entirely so a retry
+		// after Retry-After is a fresh submission, not a dedupe hit on
+		// a job that will never run.
+		s.mu.Lock()
+		delete(s.jobs, spec.id)
+		for i, id := range s.jobOrder {
+			if id == spec.id {
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		j.cancel()
+		s.stats.inc(&s.stats.jobsRejected)
+		return nil, false, errQueueFull
+	}
+}
+
+// pruneJobsLocked forgets the oldest terminal jobs beyond MaxJobs.
+func (s *Server) pruneJobsLocked() {
+	for len(s.jobOrder) > s.cfg.MaxJobs {
+		pruned := false
+		for i, id := range s.jobOrder {
+			j := s.jobs[id]
+			j.mu.Lock()
+			terminal := terminalState(j.state)
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything live; do not forget running work
+		}
+	}
+}
+
+// lookup returns a job by ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// cancelJob cancels a job by ID; queued jobs finalize immediately.
+func (s *Server) cancelJob(j *job) {
+	j.cancel()
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued && j.finalize() {
+		s.countTerminal(j)
+	}
+}
+
+// Drain gracefully stops the server: admission closes (submissions
+// get 503), queued jobs are canceled, running jobs get DrainGrace to
+// finish (their completed cells are already checkpointed), then are
+// canceled. Drain returns when every worker has exited.
+func (s *Server) Drain() {
+	s.drainOne.Do(func() {
+		s.cfg.Logf("server: draining (grace %v)", s.cfg.DrainGrace)
+		close(s.draining)
+
+		grace := time.NewTimer(s.cfg.DrainGrace)
+		defer grace.Stop()
+		select {
+		case <-s.drained:
+		case <-grace.C:
+			s.cfg.Logf("server: drain grace expired, canceling running jobs")
+			s.mu.Lock()
+			for _, id := range s.jobOrder {
+				s.jobs[id].cancel()
+			}
+			s.mu.Unlock()
+			<-s.drained
+		}
+		s.cfg.Logf("server: drained")
+	})
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// traceLease keeps each workload's trace resident from its first
+// simulated cell to the job's last cell of that workload, mirroring
+// the sweep-level lease inside harness.RunSuiteCtx (which only spans
+// a single cell here, since the server runs cells as one-cell
+// sweeps). The hold is opportunistic — Retain only succeeds while the
+// trace is resident — and purely an optimization: a missed hold costs
+// one extra singleflighted rebuild, never correctness.
+type traceLease struct {
+	cache    *workload.TraceCache
+	traceLen uint64
+
+	mu      sync.Mutex
+	pending map[string]int
+	leased  map[string]workload.Spec
+}
+
+func newTraceLease(cache *workload.TraceCache, traceLen uint64, specs []workload.Spec, cfgsPerSpec int) *traceLease {
+	l := &traceLease{
+		cache:    cache,
+		traceLen: traceLen,
+		pending:  make(map[string]int, len(specs)),
+		leased:   make(map[string]workload.Spec),
+	}
+	for _, s := range specs {
+		l.pending[s.Name] = cfgsPerSpec
+	}
+	return l
+}
+
+// hold takes the job's keep-alive reference on spec's trace if it is
+// resident and more cells of the workload remain.
+func (l *traceLease) hold(spec workload.Spec) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.leased[spec.Name]; ok {
+		return
+	}
+	if l.pending[spec.Name] <= 1 {
+		return // this is the workload's last cell; nothing to bridge
+	}
+	if l.cache.Retain(spec, l.traceLen) {
+		l.leased[spec.Name] = spec
+	}
+}
+
+// cellDone marks one cell of spec terminal and drops the lease with
+// the last one.
+func (l *traceLease) cellDone(spec workload.Spec) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending[spec.Name]--
+	if l.pending[spec.Name] <= 0 {
+		if _, ok := l.leased[spec.Name]; ok {
+			delete(l.leased, spec.Name)
+			l.cache.Release(spec, l.traceLen)
+		}
+	}
+}
+
+// releaseAll drops any leases still held (canceled jobs).
+func (l *traceLease) releaseAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for name, spec := range l.leased {
+		delete(l.leased, name)
+		l.cache.Release(spec, l.traceLen)
+	}
+	l.pending = make(map[string]int)
+}

@@ -1,0 +1,67 @@
+package workload
+
+import "fmt"
+
+// This file bounds what a workload request may cost. The batch CLIs
+// only run curated suites, but the job server (internal/server)
+// materializes traces for payloads that arrive over the network: a
+// hostile or fat-fingered request must be rejected by arithmetic on
+// its parameters, not discovered by the OOM killer after the trace
+// generator has already committed gigabytes.
+
+// Budget caps the resources one workload trace may consume. The zero
+// value means "no limit" for every field; servers use DefaultBudget.
+type Budget struct {
+	// MaxTraceInstrs caps the materialized stream length
+	// (warmup+measure): the dominant allocation, sizeof(Instruction)
+	// bytes per instruction.
+	MaxTraceInstrs uint64
+	// MaxStaticInstrs caps the synthesized program size
+	// (Functions x MeanBlocks x MeanBlockInstrs).
+	MaxStaticInstrs uint64
+	// MaxDataFootprint caps the modeled heap region.
+	MaxDataFootprint uint64
+	// MaxCallDepth caps the walker's simulated call stack.
+	MaxCallDepth int
+}
+
+// DefaultBudget returns limits comfortably above every curated suite
+// and figure windows (paperfigs runs 3M-instruction cells over
+// programs of ~10^5 static instructions) while keeping a single
+// request's trace under ~1 GiB.
+func DefaultBudget() Budget {
+	return Budget{
+		MaxTraceInstrs:   16_000_000,
+		MaxStaticInstrs:  2_000_000,
+		MaxDataFootprint: 1 << 28, // 256 MiB
+		MaxCallDepth:     1 << 12,
+	}
+}
+
+// Check validates spec's parameters and verifies that materializing
+// its first traceLen instructions stays inside the budget. It returns
+// the first violation, or nil.
+func (b Budget) Check(spec Spec, traceLen uint64) error {
+	p := spec.Params
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if b.MaxTraceInstrs > 0 && traceLen > b.MaxTraceInstrs {
+		return fmt.Errorf("workload %s: trace of %d instructions exceeds budget %d",
+			spec.Name, traceLen, b.MaxTraceInstrs)
+	}
+	static := uint64(p.Functions) * uint64(p.MeanBlocks) * uint64(p.MeanBlockInstrs)
+	if b.MaxStaticInstrs > 0 && static > b.MaxStaticInstrs {
+		return fmt.Errorf("workload %s: ~%d static instructions exceed budget %d",
+			spec.Name, static, b.MaxStaticInstrs)
+	}
+	if b.MaxDataFootprint > 0 && p.DataFootprint > b.MaxDataFootprint {
+		return fmt.Errorf("workload %s: data footprint %d bytes exceeds budget %d",
+			spec.Name, p.DataFootprint, b.MaxDataFootprint)
+	}
+	if b.MaxCallDepth > 0 && p.MaxCallDepth > b.MaxCallDepth {
+		return fmt.Errorf("workload %s: call depth %d exceeds budget %d",
+			spec.Name, p.MaxCallDepth, b.MaxCallDepth)
+	}
+	return nil
+}

@@ -13,9 +13,19 @@ import (
 // once per configuration — N_cfgs x N_specs generations of N_specs
 // distinct streams. The cache materializes each spec's stream once
 // into an immutable instruction slice shared read-only by every
-// configuration, and evicts it as soon as the last configuration has
-// consumed it, so a sweep's resident trace set stays proportional to
-// the worker count, not the suite size.
+// configuration, and evicts it as soon as the last reference is
+// dropped, so a sweep's resident trace set stays proportional to the
+// worker count, not the suite size.
+//
+// Entries are plainly refcounted: every successful Acquire takes one
+// reference and the matching Release drops it. A sweep that wants a
+// trace to survive the gap between one cell's Release and the next
+// cell's Acquire holds one extra reference with Retain for as long as
+// it still has cells of that workload outstanding (see
+// harness.RunSuiteCtx). Builds are singleflighted: any number of
+// concurrent Acquires of the same (spec, n) — including acquirers from
+// different sweeps or server jobs sharing one cache — join exactly one
+// materialization instead of racing their own.
 
 // Trace is an immutable, materialized instruction stream. It is safe
 // to share across goroutines; each reader gets its own Source.
@@ -51,10 +61,8 @@ func Materialize(spec Spec, n uint64) (*Trace, error) {
 	return &Trace{Name: spec.Name, Instrs: instrs}, nil
 }
 
-// TraceCache shares materialized traces between the runs of a sweep.
-// Entries are refcounted: Acquire declares up front how many times the
-// trace will be used in total, and the matching Releases evict it once
-// the last user is done.
+// TraceCache shares materialized traces between the runs of one or
+// more sweeps. Safe for concurrent use.
 type TraceCache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
@@ -66,8 +74,8 @@ type TraceCache struct {
 	hits   uint64
 
 	// acquireHook, when set, is consulted before every Acquire and may
-	// fail it (fault injection in tests). A hook-failed Acquire does
-	// not consume a use and must not be paired with a Release.
+	// fail it (fault injection in tests). A hook-failed Acquire takes
+	// no reference and must not be paired with a Release.
 	acquireHook func(name string, n uint64) error
 }
 
@@ -77,13 +85,18 @@ type cacheKey struct {
 }
 
 type cacheEntry struct {
-	once      sync.Once
-	tr        *Trace
-	err       error
-	remaining int
+	// refs is the number of outstanding references (Acquires and
+	// Retains not yet Released).
+	refs int
 	// pinned entries survive any number of Releases (benchmark drivers
 	// that sweep the same suite repeatedly pin their specs up front).
 	pinned bool
+	// done is closed when the build completes; tr/err are written
+	// (under the cache lock) before the close, so waiters that return
+	// after <-done read them race-free.
+	done chan struct{}
+	tr   *Trace
+	err  error
 }
 
 // NewTraceCache returns an empty cache.
@@ -92,18 +105,13 @@ func NewTraceCache() *TraceCache {
 }
 
 // Acquire returns the materialized trace of spec's first n
-// instructions, building it on first use. uses is the total number of
-// Acquire calls this (spec, n) pair will receive over the cache's
-// lifetime (one per sweep cell); after that many Releases the entry is
-// evicted. Only the first Acquire's uses value is honored.
-//
-// Materialization runs outside the cache lock, so concurrent Acquires
-// of different specs build in parallel while Acquires of the same spec
-// block until the one build finishes.
-func (c *TraceCache) Acquire(spec Spec, n uint64, uses int) (*Trace, error) {
-	if uses < 1 {
-		uses = 1
-	}
+// instructions, building it on first use; concurrent Acquires of the
+// same (spec, n) join one singleflighted build instead of racing their
+// own. Every successful Acquire takes one reference that the caller
+// must drop with exactly one Release; a failed Acquire takes no
+// reference and must not be Released. The entry is evicted when the
+// last reference is gone (unless pinned).
+func (c *TraceCache) Acquire(spec Spec, n uint64) (*Trace, error) {
 	c.mu.Lock()
 	hook := c.acquireHook
 	c.mu.Unlock()
@@ -116,16 +124,61 @@ func (c *TraceCache) Acquire(spec Spec, n uint64, uses int) (*Trace, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &cacheEntry{remaining: uses}
+		e = &cacheEntry{refs: 1, done: make(chan struct{})}
 		c.entries[key] = e
 		c.builds++
-	} else {
-		c.hits++
+		c.mu.Unlock()
+		return c.build(key, e, spec, n)
 	}
+	e.refs++
+	c.hits++
 	c.mu.Unlock()
 
-	e.once.Do(func() { e.tr, e.err = Materialize(spec, n) })
-	return e.tr, e.err
+	<-e.done
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.tr, nil
+}
+
+// build materializes the entry's trace and publishes the outcome. A
+// failed build is evicted immediately so a later Acquire retries
+// instead of being served a cached error forever.
+func (c *TraceCache) build(key cacheKey, e *cacheEntry, spec Spec, n uint64) (*Trace, error) {
+	tr, err := Materialize(spec, n)
+	c.mu.Lock()
+	e.tr, e.err = tr, err
+	if c.entries[key] == e {
+		if err != nil {
+			// Waiters still receive err via the entry pointer; the
+			// map no longer serves it.
+			delete(c.entries, key)
+		} else if e.refs <= 0 && !e.pinned {
+			// Every acquirer released (or retained and released)
+			// while the build was still running.
+			delete(c.entries, key)
+		}
+	}
+	close(e.done)
+	c.mu.Unlock()
+	return tr, err
+}
+
+// Retain takes one additional reference on an already-resident
+// (spec, n) entry without counting a cache hit, reporting whether the
+// entry was present. Sweeps use it to keep a trace alive across the
+// gap between one cell's Release and the next cell's Acquire; the
+// reference is dropped with a matching Release.
+func (c *TraceCache) Retain(spec Spec, n uint64) bool {
+	key := cacheKey{name: spec.Name, n: n}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	e.refs++
+	return true
 }
 
 // Pin materializes the (spec, n) trace and retains it for the cache's
@@ -137,22 +190,23 @@ func (c *TraceCache) Pin(spec Spec, n uint64) (*Trace, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &cacheEntry{remaining: 1}
+		e = &cacheEntry{pinned: true, done: make(chan struct{})}
 		c.entries[key] = e
 		c.builds++
-	} else {
-		c.hits++
+		c.mu.Unlock()
+		return c.build(key, e, spec, n)
 	}
 	e.pinned = true
+	c.hits++
 	c.mu.Unlock()
 
-	e.once.Do(func() { e.tr, e.err = Materialize(spec, n) })
+	<-e.done
 	return e.tr, e.err
 }
 
-// Release returns one use of the (spec, n) trace. When the declared
-// use count is exhausted the entry is dropped, freeing the stream;
-// pinned entries are never dropped.
+// Release drops one reference on the (spec, n) trace. When the last
+// reference is gone the entry is evicted, freeing the stream; pinned
+// entries are never evicted. Releasing an absent entry is a no-op.
 func (c *TraceCache) Release(spec Spec, n uint64) {
 	key := cacheKey{name: spec.Name, n: n}
 	c.mu.Lock()
@@ -161,15 +215,24 @@ func (c *TraceCache) Release(spec Spec, n uint64) {
 	if !ok || e.pinned {
 		return
 	}
-	e.remaining--
-	if e.remaining <= 0 {
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	select {
+	case <-e.done:
 		delete(c.entries, key)
+	default:
+		// Still building: deleting now would let a concurrent Acquire
+		// start a second build of the same trace. The builder evicts
+		// the entry itself if the refcount is still zero when the
+		// build completes.
 	}
 }
 
 // SetAcquireHook installs (or, with nil, removes) a hook consulted
 // before every Acquire. A non-nil error from the hook fails the
-// Acquire without consuming a use: the caller must not Release it.
+// Acquire without taking a reference: the caller must not Release it.
 // The hook exists for deterministic fault injection in tests (see
 // internal/faultinject).
 func (c *TraceCache) SetAcquireHook(h func(name string, n uint64) error) {

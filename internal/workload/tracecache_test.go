@@ -70,11 +70,11 @@ func TestTraceCacheRefcount(t *testing.T) {
 	spec := testSpec(t)
 	c := NewTraceCache()
 
-	t1, err := c.Acquire(spec, 100, 2)
+	t1, err := c.Acquire(spec, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := c.Acquire(spec, 100, 99) // uses honored only on first Acquire
+	t2, err := c.Acquire(spec, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestTraceCacheRefcount(t *testing.T) {
 	}
 
 	// A different window is a different entry.
-	if _, err := c.Acquire(spec, 50, 1); err != nil {
+	if _, err := c.Acquire(spec, 50); err != nil {
 		t.Fatal(err)
 	}
 	if builds, _, resident := c.CacheStats(); builds != 2 || resident != 2 {
@@ -95,44 +95,95 @@ func TestTraceCacheRefcount(t *testing.T) {
 
 	c.Release(spec, 100)
 	if _, _, resident := c.CacheStats(); resident != 2 {
-		t.Errorf("entry evicted with a use outstanding (resident=%d)", resident)
+		t.Errorf("entry evicted with a reference outstanding (resident=%d)", resident)
 	}
 	c.Release(spec, 100)
 	if _, _, resident := c.CacheStats(); resident != 1 {
-		t.Errorf("entry not evicted after declared uses (resident=%d)", resident)
+		t.Errorf("entry not evicted after last Release (resident=%d)", resident)
 	}
 	// Releasing an absent entry is a no-op.
 	c.Release(spec, 100)
 }
 
+func TestTraceCacheRetainKeepsEntryAlive(t *testing.T) {
+	spec := testSpec(t)
+	c := NewTraceCache()
+
+	if _, err := c.Acquire(spec, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Retain takes a second reference without counting a hit.
+	if !c.Retain(spec, 100) {
+		t.Fatal("Retain missed a resident entry")
+	}
+	if builds, hits, _ := c.CacheStats(); builds != 1 || hits != 0 {
+		t.Errorf("builds=%d hits=%d after Acquire+Retain, want 1 and 0", builds, hits)
+	}
+
+	// The acquirer's Release leaves the retained entry resident; a
+	// re-Acquire across the gap is a hit, not a rebuild.
+	c.Release(spec, 100)
+	if _, _, resident := c.CacheStats(); resident != 1 {
+		t.Fatalf("retained entry evicted (resident=%d)", resident)
+	}
+	if _, err := c.Acquire(spec, 100); err != nil {
+		t.Fatal(err)
+	}
+	if builds, hits, _ := c.CacheStats(); builds != 1 || hits != 1 {
+		t.Errorf("builds=%d hits=%d after re-Acquire, want 1 and 1", builds, hits)
+	}
+
+	// Dropping both remaining references evicts.
+	c.Release(spec, 100)
+	c.Release(spec, 100)
+	if _, _, resident := c.CacheStats(); resident != 0 {
+		t.Errorf("entry survived its last Release (resident=%d)", resident)
+	}
+	// Retain on an absent entry reports the miss and takes nothing.
+	if c.Retain(spec, 100) {
+		t.Error("Retain claimed an evicted entry")
+	}
+}
+
 func TestTraceCacheConcurrentAcquireBuildsOnce(t *testing.T) {
 	spec := testSpec(t)
 	c := NewTraceCache()
-	const workers = 8
+	const workers = 16
 
+	// All 16 acquirers hold their references until every Acquire has
+	// returned (the barrier below), so no interleaving of releases can
+	// empty the refcount mid-test and legitimize a second build.
 	traces := make([]*Trace, workers)
-	var wg sync.WaitGroup
+	barrier := make(chan struct{})
+	var acquired, done sync.WaitGroup
 	for i := 0; i < workers; i++ {
-		wg.Add(1)
+		acquired.Add(1)
+		done.Add(1)
 		go func(i int) {
-			defer wg.Done()
-			tr, err := c.Acquire(spec, 200, workers)
+			defer done.Done()
+			tr, err := c.Acquire(spec, 200)
 			if err != nil {
 				t.Error(err)
+				acquired.Done()
 				return
 			}
 			traces[i] = tr
+			acquired.Done()
+			<-barrier
+			c.Release(spec, 200)
 		}(i)
 	}
-	wg.Wait()
+	acquired.Wait()
+	close(barrier)
+	done.Wait()
 
 	for i := 1; i < workers; i++ {
 		if traces[i] != traces[0] {
 			t.Fatal("concurrent acquires produced distinct traces")
 		}
 	}
-	if builds, hits, _ := c.CacheStats(); builds != 1 || hits != workers-1 {
-		t.Errorf("builds=%d hits=%d, want 1 and %d", builds, hits, workers-1)
+	if builds, hits, resident := c.CacheStats(); builds != 1 || hits != workers-1 || resident != 0 {
+		t.Errorf("builds=%d hits=%d resident=%d, want 1, %d, 0", builds, hits, resident, workers-1)
 	}
 }
 
@@ -145,7 +196,7 @@ func TestTraceCachePinSurvivesRelease(t *testing.T) {
 		t.Fatal(err)
 	}
 	// An Acquire of a pinned entry is a hit and shares the trace.
-	got, err := c.Acquire(spec, 100, 1)
+	got, err := c.Acquire(spec, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +215,7 @@ func TestTraceCachePinSurvivesRelease(t *testing.T) {
 	}
 
 	// Pinning an entry acquired first also protects it.
-	if _, err := c.Acquire(spec, 30, 1); err != nil {
+	if _, err := c.Acquire(spec, 30); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Pin(spec, 30); err != nil {
@@ -193,29 +244,29 @@ func TestTraceCacheAcquireHook(t *testing.T) {
 		return nil
 	})
 
-	// A hook-failed Acquire consumes no use and builds nothing.
-	if _, err := c.Acquire(spec, 100, 2); !errors.Is(err, fail) {
+	// A hook-failed Acquire takes no reference and builds nothing.
+	if _, err := c.Acquire(spec, 100); !errors.Is(err, fail) {
 		t.Fatalf("Acquire error = %v, want wrapped %v", err, fail)
 	}
 	if builds, hits, resident := c.CacheStats(); builds != 0 || hits != 0 || resident != 0 {
 		t.Fatalf("failed Acquire touched the cache: builds=%d hits=%d resident=%d", builds, hits, resident)
 	}
 
-	// The retry succeeds and the declared uses still drain the entry.
+	// Retries succeed and their references drain the entry as usual.
 	for i := 0; i < 2; i++ {
-		if _, err := c.Acquire(spec, 100, 2); err != nil {
+		if _, err := c.Acquire(spec, 100); err != nil {
 			t.Fatal(err)
 		}
 	}
 	c.Release(spec, 100)
 	c.Release(spec, 100)
 	if _, _, resident := c.CacheStats(); resident != 0 {
-		t.Errorf("entry not evicted after declared uses (resident=%d)", resident)
+		t.Errorf("entry not evicted after last Release (resident=%d)", resident)
 	}
 
 	// Removing the hook restores unconditional acquires.
 	c.SetAcquireHook(nil)
-	if _, err := c.Acquire(spec, 100, 1); err != nil {
+	if _, err := c.Acquire(spec, 100); err != nil {
 		t.Fatal(err)
 	}
 }
