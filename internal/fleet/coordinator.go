@@ -1,0 +1,441 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"entangling/internal/harness"
+	"entangling/internal/server"
+	"entangling/internal/stats"
+)
+
+// This file is the coordinator side of the fleet: a server.Dispatcher
+// whose CellRunner leaf executes cells remotely. Placement is a
+// consistent-hash ring over the cell fingerprint — the same cell
+// always prefers the same worker, so worker-local caches stay hot and
+// a steal race is the exception, not the steady state. Slow primaries
+// are raced (work-stealing after StealAfter), dead ones are failed
+// over immediately, and every completed cell's checkpoint record is
+// replicated into the coordinator's own store before the result is
+// published — the durability of a finished cell never depends on a
+// worker staying alive.
+
+// ringSeed salts the placement hash; fixed so placement is stable
+// across coordinator restarts (worker caches survive).
+const ringSeed = 0x9e3779b97f4a7c15
+
+// CoordinatorConfig assembles a Coordinator.
+type CoordinatorConfig struct {
+	// Peers are the worker base URLs (e.g. "http://10.0.0.7:9001").
+	// Required, order-insensitive: placement depends only on the set.
+	Peers []string
+	// Store, when non-nil, receives a replicated checkpoint record for
+	// every cell a worker completes, and serves warm restarts.
+	Store *harness.CheckpointStore
+	// StealAfter is how long the primary worker may hold a cell before
+	// the next owner is raced for it (default 15s; tests use
+	// milliseconds). Work-stealing never cancels the primary — the
+	// first success wins and the loser's dispatch is released.
+	StealAfter time.Duration
+	// Client performs the HTTP requests (default: a dedicated client
+	// with no global timeout — cell deadlines belong to contexts).
+	Client *http.Client
+	// VirtualNodes is the ring weight per worker (default 64).
+	VirtualNodes int
+	// MemCap bounds the in-process result cache (default 4096).
+	MemCap int
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// CoordinatorStats is a snapshot of the coordinator's dispatch
+// counters.
+type CoordinatorStats struct {
+	// Dispatched counts cells resolved remotely (cache tiers excluded).
+	Dispatched uint64
+	// Stolen counts cells won by a non-primary worker, whether by
+	// steal-race or failover.
+	Stolen uint64
+	// Failovers counts transport-level dispatch failures that moved a
+	// cell to the next owner.
+	Failovers uint64
+	// StealsLaunched counts steal races opened against a slow primary
+	// (whether or not the thief won).
+	StealsLaunched uint64
+}
+
+// Coordinator dispatches cells onto a fleet of workers. It embeds the
+// shared Resolver, so the coordinator's memory cache, durable store
+// and singleflight sit in front of any network traffic — a cell is
+// shipped to a worker only once no matter how many jobs want it.
+type Coordinator struct {
+	*server.Resolver
+
+	cfg    CoordinatorConfig
+	client *http.Client
+	peers  []string
+	ring   []ringNode
+
+	dispatched     atomic.Uint64
+	stolen         atomic.Uint64
+	failovers      atomic.Uint64
+	stealsLaunched atomic.Uint64
+}
+
+// ringNode is one virtual node: a point on the hash circle owned by a
+// peer.
+type ringNode struct {
+	hash uint64
+	peer int
+}
+
+// NewCoordinator builds a coordinator over the given worker set.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("fleet: coordinator needs at least one worker peer")
+	}
+	if cfg.StealAfter <= 0 {
+		cfg.StealAfter = 15 * time.Second
+	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{cfg: cfg, client: cfg.Client}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	seen := make(map[string]bool)
+	for _, p := range cfg.Peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			return nil, errors.New("fleet: empty worker peer URL")
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("fleet: duplicate worker peer %s", p)
+		}
+		seen[p] = true
+		c.peers = append(c.peers, p)
+	}
+	// Placement must not depend on flag order.
+	sort.Strings(c.peers)
+	for i, p := range c.peers {
+		for v := 0; v < cfg.VirtualNodes; v++ {
+			c.ring = append(c.ring, ringNode{
+				hash: stats.Hash64(ringSeed, p, "#", strconv.Itoa(v)),
+				peer: i,
+			})
+		}
+	}
+	sort.Slice(c.ring, func(i, j int) bool { return c.ring[i].hash < c.ring[j].hash })
+	c.Resolver = server.NewResolver(server.ResolverConfig{
+		Run:    c.runRemote,
+		Store:  cfg.Store,
+		MemCap: cfg.MemCap,
+	})
+	return c, nil
+}
+
+// owners returns every peer in preference order for a fingerprint:
+// the ring walk from the fingerprint's point, first distinct owner
+// first. The full list is the failover chain — a cell only fails for
+// transport reasons when every worker refused it.
+func (c *Coordinator) owners(fingerprint string) []string {
+	h := stats.Hash64(ringSeed, fingerprint)
+	start := sort.Search(len(c.ring), func(i int) bool { return c.ring[i].hash >= h })
+	owners := make([]string, 0, len(c.peers))
+	taken := make([]bool, len(c.peers))
+	for i := 0; i < len(c.ring) && len(owners) < len(c.peers); i++ {
+		n := c.ring[(start+i)%len(c.ring)]
+		if !taken[n.peer] {
+			taken[n.peer] = true
+			owners = append(owners, c.peers[n.peer])
+		}
+	}
+	return owners
+}
+
+// dispatchOutcome is one worker's answer (or transport failure).
+type dispatchOutcome struct {
+	attempt int
+	peer    string
+	res     Result
+	err     error
+}
+
+// runRemote is the Coordinator's CellRunner: resolve one cell that
+// missed every local tier by racing it across the cell's owner chain.
+// The primary is asked first; StealAfter later (or immediately on a
+// transport failure) the next owner joins the race. First valid
+// success wins and cancels the rest; an in-band cell failure is
+// authoritative and ends the race — the worker already spent the
+// retry budget, and a deterministic failure would only repeat
+// elsewhere.
+func (c *Coordinator) runRemote(ctx context.Context, cell server.CellSpec, progress func(harness.CellEvent)) (harness.RunResult, string, *harness.CellError) {
+	cellErr := func(err error) *harness.CellError {
+		return &harness.CellError{Config: cell.Config.Name, Workload: cell.Workload.Name, Err: err}
+	}
+	canceled := func() *harness.CellError {
+		return cellErr(fmt.Errorf("%w: %v", harness.ErrCellCanceled, context.Cause(ctx)))
+	}
+
+	asg := Assignment{
+		SchemaVersion: WireSchemaVersion,
+		Fingerprint:   cell.Fingerprint,
+		Config:        cell.Config,
+		Workload:      cell.Workload,
+		Warmup:        cell.Warmup,
+		Measure:       cell.Measure,
+		Plan:          cell.Plan,
+	}
+	owners := c.owners(cell.Fingerprint)
+
+	// Every dispatch shares actx: the first authoritative outcome
+	// cancels the stragglers, whose goroutines deliver into the
+	// buffered channel and exit — nothing leaks past the race.
+	actx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	outcomes := make(chan dispatchOutcome, len(owners))
+	launched := 0
+	launch := func() {
+		a, peer := launched, owners[launched]
+		launched++
+		go func() {
+			res, err := c.post(actx, peer, asg)
+			outcomes <- dispatchOutcome{attempt: a, peer: peer, res: res, err: err}
+		}()
+	}
+
+	c.dispatched.Add(1)
+	launch()
+	steal := time.NewTimer(c.cfg.StealAfter)
+	defer steal.Stop()
+
+	pending := 1
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return harness.RunResult{}, "", canceled()
+
+		case <-steal.C:
+			if launched < len(owners) {
+				c.cfg.Logf("fleet: cell %s slow on %s after %v; stealing to %s",
+					cell.Fingerprint, owners[launched-1], c.cfg.StealAfter, owners[launched])
+				c.stealsLaunched.Add(1)
+				launch()
+				pending++
+				steal.Reset(c.cfg.StealAfter)
+			}
+
+		case out := <-outcomes:
+			pending--
+			if out.err != nil {
+				// Transport-level failure: this worker is unreachable or
+				// broken, not the cell. Fail over to the next owner now.
+				lastErr = out.err
+				c.failovers.Add(1)
+				c.cfg.Logf("fleet: cell %s failed on %s: %v", cell.Fingerprint, out.peer, out.err)
+				if launched < len(owners) {
+					launch()
+					pending++
+				} else if pending == 0 {
+					return harness.RunResult{}, "", cellErr(
+						fmt.Errorf("fleet: every worker failed the dispatch, last: %w", lastErr))
+				}
+				continue
+			}
+			if out.res.Failure != nil {
+				f := out.res.Failure
+				err := errors.New(f.Message)
+				if f.Canceled {
+					err = fmt.Errorf("%w: %s", harness.ErrCellCanceled, f.Message)
+				}
+				return harness.RunResult{}, "", &harness.CellError{
+					Config: f.Config, Workload: f.Workload, Attempts: f.Attempts, Err: err,
+				}
+			}
+
+			// Success: replay the worker's retry history into the job
+			// event stream, replicate durability onto this side of the
+			// fabric, then publish.
+			if progress != nil {
+				for _, rn := range out.res.Retries {
+					progress(harness.CellEvent{
+						Type: harness.CellRetried, Config: cell.Config.Name,
+						Workload: cell.Workload.Name, Attempt: rn.Attempt,
+					})
+				}
+			}
+			if err := c.replicate(cell, *out.res.Result); err != nil {
+				return harness.RunResult{}, "", cellErr(err)
+			}
+			source := server.SourceFleet
+			if out.attempt > 0 {
+				source = server.SourceFleetStolen
+				c.stolen.Add(1)
+			}
+			return *out.res.Result, source, nil
+		}
+	}
+}
+
+// post ships one assignment to one worker and returns its validated
+// result. Any non-200 status, oversized body, undecodable payload or
+// assignment mismatch is a transport-class error (the caller fails
+// over); only a decoded in-band Failure is an authoritative outcome.
+func (c *Coordinator) post(ctx context.Context, peer string, asg Assignment) (Result, error) {
+	body, err := json.Marshal(asg)
+	if err != nil {
+		return Result{}, fmt.Errorf("encoding assignment: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+CellsPath, bytes.NewReader(body))
+	if err != nil {
+		return Result{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, MaxWireBytes+1))
+	if err != nil {
+		return Result{}, fmt.Errorf("reading worker response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Result{}, fmt.Errorf("worker %s: status %d: %s", peer, resp.StatusCode, firstLine(b))
+	}
+	res, err := DecodeResult(b)
+	if err != nil {
+		return Result{}, fmt.Errorf("worker %s: %w", peer, err)
+	}
+	if err := res.Check(asg); err != nil {
+		return Result{}, fmt.Errorf("worker %s: %w", peer, err)
+	}
+	return res, nil
+}
+
+// replicate persists a worker-computed result into the coordinator's
+// store. An idempotent re-save (steal race, warm worker cache) is a
+// no-op; a conflicting record is evidence of nondeterminism or a
+// lying worker, and fails the cell rather than poisoning the store.
+// Other store errors degrade durability, not the job: they are logged
+// and the result still flows.
+func (c *Coordinator) replicate(cell server.CellSpec, res harness.RunResult) error {
+	if c.cfg.Store == nil {
+		return nil
+	}
+	err := c.cfg.Store.Save(harness.CellRecord{
+		SchemaVersion: harness.CheckpointSchemaVersion,
+		Fingerprint:   cell.Fingerprint,
+		Config:        cell.Config.Name,
+		Workload:      cell.Workload.Name,
+		Result:        res,
+	})
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, harness.ErrCheckpointConflict):
+		return fmt.Errorf("fleet: worker result disagrees with the stored checkpoint: %w", err)
+	default:
+		c.cfg.Logf("fleet: replicating cell %s: %v (result still served)", cell.Fingerprint, err)
+		return nil
+	}
+}
+
+// firstLine trims a worker error body to a single loggable line.
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// Stats snapshots the dispatch counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	return CoordinatorStats{
+		Dispatched:     c.dispatched.Load(),
+		Stolen:         c.stolen.Load(),
+		Failovers:      c.failovers.Load(),
+		StealsLaunched: c.stealsLaunched.Load(),
+	}
+}
+
+// Close releases idle transport connections. Dispatches in flight are
+// unaffected.
+func (c *Coordinator) Close() {
+	c.client.CloseIdleConnections()
+}
+
+// WaitReady polls every worker's healthz until all answer validly or
+// the context expires — startup sequencing for fleets whose workers
+// and coordinator race to boot.
+func (c *Coordinator) WaitReady(ctx context.Context) error {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if err := c.checkWorkers(ctx); err == nil {
+			return nil
+		} else if ctx.Err() != nil {
+			return fmt.Errorf("fleet: workers not ready: %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: workers not ready: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// checkWorkers pings every peer's healthz once.
+func (c *Coordinator) checkWorkers(ctx context.Context) error {
+	for _, peer := range c.peers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+HealthPath, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", peer, err)
+		}
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, MaxWireBytes+1))
+		resp.Body.Close()
+		if rerr != nil {
+			return fmt.Errorf("worker %s: %w", peer, rerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("worker %s: healthz status %d", peer, resp.StatusCode)
+		}
+		if _, err := DecodeHealth(b); err != nil {
+			return fmt.Errorf("worker %s: %w", peer, err)
+		}
+	}
+	return nil
+}
+
+// Peers returns the normalized, placement-ordered worker URLs.
+func (c *Coordinator) Peers() []string {
+	return append([]string(nil), c.peers...)
+}
+
+var _ server.Dispatcher = (*Coordinator)(nil)

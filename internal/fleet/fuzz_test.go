@@ -1,0 +1,105 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"entangling/internal/faultinject"
+	"entangling/internal/fleet"
+	"entangling/internal/harness"
+)
+
+// FuzzFleetWireDecode throws arbitrary bytes at every wire decoder —
+// assignment, result and health travel coordinator<->worker as
+// network input, so all three must hold two properties on hostile
+// payloads: never panic, and never hand back a message that could
+// poison downstream state. Concretely, any Assignment that decodes
+// carries a fingerprint equal to the recomputation over its own
+// payload (so it cannot alias another cell's checkpoint identity),
+// any Result that decodes carries exactly one outcome arm and a
+// bounded retry history, and any successful Result is encodable as a
+// valid checkpoint record — the exact bytes replication would Save.
+func FuzzFleetWireDecode(f *testing.F) {
+	asg := validAssignment()
+	asg.Plan = &faultinject.Plan{Seed: 7, CellSlowProb: 0.5, SlowDelay: 1000}
+	if b, err := json.Marshal(asg); err == nil {
+		f.Add(b)
+	}
+	res := fleet.Result{
+		SchemaVersion: fleet.WireSchemaVersion,
+		Fingerprint:   asg.Fingerprint,
+		WorkerID:      "w0",
+		Retries:       []fleet.RetryNote{{Attempt: 2}},
+		Result:        &harness.RunResult{Config: asg.Config.Name, Workload: asg.Workload.Name},
+	}
+	if b, err := json.Marshal(res); err == nil {
+		f.Add(b)
+	}
+	fail := res
+	fail.Result = nil
+	fail.Failure = &fleet.Failure{Config: asg.Config.Name, Workload: asg.Workload.Name, Attempts: 3, Message: "boom"}
+	if b, err := json.Marshal(fail); err == nil {
+		f.Add(b)
+	}
+	if b, err := json.Marshal(fleet.Health{SchemaVersion: fleet.WireSchemaVersion, WorkerID: "w1", Completed: 9}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema_version":1}`))
+	f.Add([]byte(`{"schema_version":1,"fingerprint":"00","result":{},"failure":{}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"schema_version":1,"fingerprint":"00","retries":[{"attempt":-1}],"result":{}}`))
+	f.Add([]byte("ENTCKPT v1 deadbeef\n{}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if a, err := fleet.DecodeAssignment(data); err == nil {
+			if want := harness.CellFingerprint(a.Config, a.Workload, a.Warmup, a.Measure); a.Fingerprint != want {
+				t.Fatalf("decoded assignment fingerprint %q does not match its payload (%q)", a.Fingerprint, want)
+			}
+			if a.Plan != nil {
+				if verr := a.Plan.Validate(); verr != nil {
+					t.Fatalf("decoded assignment carries an invalid fault plan: %v", verr)
+				}
+			}
+		}
+		if r, err := fleet.DecodeResult(data); err == nil {
+			if (r.Result == nil) == (r.Failure == nil) {
+				t.Fatal("decoded result does not carry exactly one outcome arm")
+			}
+			for _, rn := range r.Retries {
+				if rn.Attempt < 1 {
+					t.Fatalf("decoded result carries retry attempt %d", rn.Attempt)
+				}
+			}
+			if r.Result != nil {
+				// Replication encodes exactly this record; a decodable
+				// wire result must never yield an unsaveable (or
+				// round-trip-lossy) checkpoint record, or a hostile
+				// worker could wedge the coordinator's store.
+				rec := harness.CellRecord{
+					SchemaVersion: harness.CheckpointSchemaVersion,
+					Fingerprint:   r.Fingerprint,
+					Config:        r.Result.Config,
+					Workload:      r.Result.Workload,
+					Result:        *r.Result,
+				}
+				if rec.Config == "" || rec.Workload == "" {
+					// Check rejects these against any assignment; they
+					// never reach Save.
+					return
+				}
+				b, err := harness.EncodeCellRecord(rec)
+				if err != nil {
+					t.Fatalf("decoded result produced an unencodable checkpoint record: %v", err)
+				}
+				if _, err := harness.DecodeCellRecord(b); err != nil {
+					t.Fatalf("replicated record does not round-trip: %v", err)
+				}
+			}
+		}
+		if _, err := fleet.DecodeHealth(data); err == nil {
+			// Structural validity is all healthz promises.
+			_ = err
+		}
+	})
+}

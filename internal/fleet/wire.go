@@ -1,0 +1,242 @@
+// Package fleet distributes the job server's cell resolution over a
+// coordinator and a set of worker replicas speaking stdlib HTTP/JSON.
+// The coordinator implements server.Dispatcher: it consistent-hashes
+// each cell's content address onto a preference-ordered list of
+// workers, dispatches to the primary, work-steals to the next owner
+// when the primary is slow (or fails over immediately when it is
+// unreachable), and replicates every completed cell's checkpoint
+// record into its own durable store — so a worker crash loses zero
+// finished cells and a coordinator warm restart re-runs nothing.
+// Workers are thin: each wraps the same in-process LocalDispatcher a
+// standalone server uses, so a cell computes identical bytes no
+// matter which node (or how many nodes) ran it. The differential
+// battery in fleet_test.go holds the fabric to exactly that claim:
+// the exported metrics of a fleet-dispatched sweep are byte-identical
+// (equal SHA-256) to the in-process export, including under worker
+// kills and steals.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"entangling/internal/faultinject"
+	"entangling/internal/harness"
+	"entangling/internal/workload"
+)
+
+// WireSchemaVersion identifies the coordinator<->worker message
+// layout; bump it on any incompatible change. Mixed-version fleets
+// refuse each other's messages instead of misinterpreting them.
+const WireSchemaVersion = 1
+
+// MaxWireBytes caps any single wire message. Assignments and results
+// are small (one configuration, one workload's parameters, one
+// result struct); anything larger is malformed or hostile.
+const MaxWireBytes = 1 << 20
+
+// Fleet endpoint paths, versioned independently of the public job API.
+const (
+	CellsPath  = "/fleet/v1/cells"
+	HealthPath = "/fleet/v1/healthz"
+)
+
+// Assignment is the coordinator->worker request: one fully described
+// cell to resolve. It carries the complete configuration and derived
+// workload parameters (not registry names), so a worker needs no
+// registry agreement with its coordinator — the fingerprint commits
+// the payload to the exact cell it claims to be.
+type Assignment struct {
+	SchemaVersion int                   `json:"schema_version"`
+	Fingerprint   string                `json:"fingerprint"`
+	Config        harness.Configuration `json:"config"`
+	Workload      workload.Spec         `json:"workload"`
+	Warmup        uint64                `json:"warmup"`
+	Measure       uint64                `json:"measure"`
+	// Plan optionally injects deterministic faults into the worker's
+	// run; workers reject it unless started with fault injection
+	// enabled (mirrors the job server's AllowFaults gate).
+	Plan *faultinject.Plan `json:"plan,omitempty"`
+}
+
+// Validate reports the first structural problem with a decoded
+// assignment. The load-bearing check is fingerprint recomputation:
+// the claimed content address must equal harness.CellFingerprint over
+// the payload itself, so a corrupted or tampered assignment cannot
+// alias one cell's work onto another cell's checkpoint identity.
+func (a Assignment) Validate() error {
+	if a.SchemaVersion != WireSchemaVersion {
+		return fmt.Errorf("fleet: assignment schema %d, want %d", a.SchemaVersion, WireSchemaVersion)
+	}
+	if a.Config.Name == "" || a.Workload.Name == "" {
+		return errors.New("fleet: assignment missing config or workload name")
+	}
+	if a.Measure == 0 {
+		return errors.New("fleet: assignment measure window must be positive")
+	}
+	if want := harness.CellFingerprint(a.Config, a.Workload, a.Warmup, a.Measure); a.Fingerprint != want {
+		return fmt.Errorf("fleet: assignment fingerprint %q does not match its payload", a.Fingerprint)
+	}
+	if a.Plan != nil {
+		if err := a.Plan.Validate(); err != nil {
+			return fmt.Errorf("fleet: assignment fault plan: %w", err)
+		}
+	}
+	return nil
+}
+
+// RetryNote reports one retry the worker's run went through, so the
+// coordinator can replay cell.retried events into the job's single
+// ordered SSE stream.
+type RetryNote struct {
+	Attempt int `json:"attempt"`
+}
+
+// maxRetryNotes bounds the replayed retry history; a result claiming
+// more retries than any sane policy allows is rejected rather than
+// amplified into the event stream.
+const maxRetryNotes = 64
+
+// Failure is the wire form of a typed *harness.CellError: the cell
+// ran and produced a failure, which is an authoritative outcome — the
+// coordinator records it instead of retrying elsewhere (the worker
+// already spent the retry budget).
+type Failure struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	Attempts int    `json:"attempts"`
+	Message  string `json:"message"`
+	Canceled bool   `json:"canceled"`
+}
+
+// Result is the worker->coordinator response: exactly one of Result
+// (the cell's RunResult, byte-identical to a local run) or Failure.
+type Result struct {
+	SchemaVersion int                `json:"schema_version"`
+	Fingerprint   string             `json:"fingerprint"`
+	WorkerID      string             `json:"worker_id"`
+	Retries       []RetryNote        `json:"retries,omitempty"`
+	Result        *harness.RunResult `json:"result,omitempty"`
+	Failure       *Failure           `json:"failure,omitempty"`
+}
+
+// Validate reports the first structural problem with a decoded result.
+func (r Result) Validate() error {
+	if r.SchemaVersion != WireSchemaVersion {
+		return fmt.Errorf("fleet: result schema %d, want %d", r.SchemaVersion, WireSchemaVersion)
+	}
+	if r.Fingerprint == "" {
+		return errors.New("fleet: result missing fingerprint")
+	}
+	if (r.Result == nil) == (r.Failure == nil) {
+		return errors.New("fleet: result must carry exactly one of result or failure")
+	}
+	if len(r.Retries) > maxRetryNotes {
+		return fmt.Errorf("fleet: result claims %d retries (cap %d)", len(r.Retries), maxRetryNotes)
+	}
+	for _, rn := range r.Retries {
+		if rn.Attempt < 1 {
+			return fmt.Errorf("fleet: result retry attempt %d out of range", rn.Attempt)
+		}
+	}
+	return nil
+}
+
+// Check verifies a structurally valid result against the assignment
+// it answers. A result for the wrong fingerprint — or one whose
+// payload names a different cell than it was asked to run — is
+// rejected before it can reach the coordinator's caches or store.
+func (r Result) Check(asg Assignment) error {
+	if r.Fingerprint != asg.Fingerprint {
+		return fmt.Errorf("fleet: result fingerprint %q answers a different assignment (%q)",
+			r.Fingerprint, asg.Fingerprint)
+	}
+	if r.Result != nil &&
+		(r.Result.Config != asg.Config.Name || r.Result.Workload != asg.Workload.Name) {
+		return fmt.Errorf("fleet: result payload names cell %s/%s, assignment was %s/%s",
+			r.Result.Config, r.Result.Workload, asg.Config.Name, asg.Workload.Name)
+	}
+	if r.Failure != nil &&
+		(r.Failure.Config != asg.Config.Name || r.Failure.Workload != asg.Workload.Name) {
+		return fmt.Errorf("fleet: failure names cell %s/%s, assignment was %s/%s",
+			r.Failure.Config, r.Failure.Workload, asg.Config.Name, asg.Workload.Name)
+	}
+	return nil
+}
+
+// Health is the worker healthz body.
+type Health struct {
+	SchemaVersion int    `json:"schema_version"`
+	WorkerID      string `json:"worker_id"`
+	Inflight      int64  `json:"inflight"`
+	Completed     uint64 `json:"completed"`
+}
+
+// Validate reports the first structural problem with a health doc.
+func (h Health) Validate() error {
+	if h.SchemaVersion != WireSchemaVersion {
+		return fmt.Errorf("fleet: health schema %d, want %d", h.SchemaVersion, WireSchemaVersion)
+	}
+	if h.WorkerID == "" {
+		return errors.New("fleet: health missing worker id")
+	}
+	return nil
+}
+
+// decodeStrict decodes one JSON document into v, rejecting unknown
+// fields, oversized payloads and trailing data. Every wire decoder
+// funnels through here so the fuzz target exercises one code path.
+func decodeStrict(data []byte, v any) error {
+	if len(data) > MaxWireBytes {
+		return fmt.Errorf("fleet: message of %d bytes exceeds cap %d", len(data), MaxWireBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("fleet: decoding message: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return errors.New("fleet: trailing data after message")
+	}
+	return nil
+}
+
+// DecodeAssignment parses and validates a wire assignment.
+func DecodeAssignment(data []byte) (Assignment, error) {
+	var a Assignment
+	if err := decodeStrict(data, &a); err != nil {
+		return Assignment{}, err
+	}
+	if err := a.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	return a, nil
+}
+
+// DecodeResult parses and structurally validates a wire result. The
+// caller must still Check it against the assignment it answers.
+func DecodeResult(data []byte) (Result, error) {
+	var r Result
+	if err := decodeStrict(data, &r); err != nil {
+		return Result{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return Result{}, err
+	}
+	return r, nil
+}
+
+// DecodeHealth parses and validates a worker health document.
+func DecodeHealth(data []byte) (Health, error) {
+	var h Health
+	if err := decodeStrict(data, &h); err != nil {
+		return Health{}, err
+	}
+	if err := h.Validate(); err != nil {
+		return Health{}, err
+	}
+	return h, nil
+}

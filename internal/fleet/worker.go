@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entangling/internal/harness"
+	"entangling/internal/server"
+	"entangling/internal/workload"
+)
+
+// This file is the worker side of the fleet: a thin HTTP wrapper
+// around the same server.LocalDispatcher a standalone job server runs
+// on. One POST resolves one cell; the worker's own resolution
+// hierarchy (memory cache -> optional local store -> singleflight)
+// applies underneath, so a coordinator re-asking for a cell — after a
+// steal race, say — costs the worker a cache hit, not a re-simulation.
+
+// WorkerConfig assembles a Worker. Zero fields take the documented
+// defaults.
+type WorkerConfig struct {
+	// ID names this worker in results and health docs (default
+	// "worker").
+	ID string
+	// Traces is the worker's trace cache (nil -> a private one).
+	Traces *workload.TraceCache
+	// Store, when non-nil, is the worker's local durable tier. Optional:
+	// the coordinator replicates every completed cell into its own
+	// store, so worker-local durability is an optimization, not a
+	// correctness requirement.
+	Store *harness.CheckpointStore
+	// Retries, RetryBaseDelay and CellTimeout are the per-cell fault
+	// tolerance policy (see harness.Options).
+	Retries        int
+	RetryBaseDelay time.Duration
+	CellTimeout    time.Duration
+	// AllowFaults permits assignments carrying fault plans (testing
+	// only); without it such assignments are rejected with 403.
+	AllowFaults bool
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Worker resolves assigned cells in-process and serves the fleet wire
+// API.
+type Worker struct {
+	cfg      WorkerConfig
+	dispatch *server.LocalDispatcher
+
+	inflight  atomic.Int64
+	completed atomic.Uint64
+}
+
+// NewWorker builds a worker over its own in-process dispatcher.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.ID == "" {
+		cfg.ID = "worker"
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{
+		cfg: cfg,
+		dispatch: server.NewLocalDispatcher(server.LocalConfig{
+			Traces:         cfg.Traces,
+			Store:          cfg.Store,
+			Retries:        cfg.Retries,
+			RetryBaseDelay: cfg.RetryBaseDelay,
+			CellTimeout:    cfg.CellTimeout,
+		}),
+	}
+}
+
+// ID returns the worker's name.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// Handler returns the worker's HTTP API: the cell endpoint and
+// healthz.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+CellsPath, w.handleCell)
+	mux.HandleFunc("GET "+HealthPath, w.handleHealth)
+	return mux
+}
+
+// wireError is the JSON body of every non-2xx worker response.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+func (w *Worker) reply(rw http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(rw, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	rw.Write(append(b, '\n'))
+}
+
+// handleCell resolves one assignment. The request context is the
+// assignment's lease: when the coordinator abandons the dispatch
+// (steal race lost, job canceled) the context cancels and the
+// worker's flight is released with it — unless another subscriber on
+// this worker still wants the cell.
+func (w *Worker) handleCell(rw http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, MaxWireBytes))
+	if err != nil {
+		w.reply(rw, http.StatusRequestEntityTooLarge, wireError{Error: err.Error()})
+		return
+	}
+	asg, err := DecodeAssignment(body)
+	if err != nil {
+		w.reply(rw, http.StatusBadRequest, wireError{Error: err.Error()})
+		return
+	}
+	if asg.Plan != nil && !w.cfg.AllowFaults {
+		w.reply(rw, http.StatusForbidden, wireError{Error: "fleet: worker does not accept fault plans"})
+		return
+	}
+
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+
+	// Collect retry transitions for replay into the coordinator's
+	// event stream; the dispatcher calls progress from its worker
+	// goroutines.
+	var (
+		mu      sync.Mutex
+		retries []RetryNote
+	)
+	progress := func(ev harness.CellEvent) {
+		if ev.Type == harness.CellRetried {
+			mu.Lock()
+			if len(retries) < maxRetryNotes {
+				retries = append(retries, RetryNote{Attempt: ev.Attempt})
+			}
+			mu.Unlock()
+		}
+	}
+
+	out := w.dispatch.Dispatch(r.Context(), server.CellSpec{
+		Config:      asg.Config,
+		Workload:    asg.Workload,
+		Warmup:      asg.Warmup,
+		Measure:     asg.Measure,
+		Fingerprint: asg.Fingerprint,
+		Plan:        asg.Plan,
+	}, progress)
+
+	mu.Lock()
+	res := Result{
+		SchemaVersion: WireSchemaVersion,
+		Fingerprint:   asg.Fingerprint,
+		WorkerID:      w.cfg.ID,
+		Retries:       retries,
+	}
+	mu.Unlock()
+	if out.Err != nil {
+		if out.Err.Canceled() {
+			// The coordinator canceled us (or the connection died);
+			// there is no one to answer, and a canceled outcome must
+			// not travel as an authoritative cell failure.
+			w.cfg.Logf("fleet worker %s: cell %s canceled", w.cfg.ID, asg.Fingerprint)
+			w.reply(rw, http.StatusConflict, wireError{Error: out.Err.Error()})
+			return
+		}
+		res.Failure = &Failure{
+			Config:   out.Err.Config,
+			Workload: out.Err.Workload,
+			Attempts: out.Err.Attempts,
+			Message:  out.Err.Error(),
+			Canceled: false,
+		}
+	} else {
+		r := out.Result
+		res.Result = &r
+	}
+	w.completed.Add(1)
+	w.cfg.Logf("fleet worker %s: cell %s resolved (%s)", w.cfg.ID, asg.Fingerprint, out.Source)
+	w.reply(rw, http.StatusOK, res)
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	w.reply(rw, http.StatusOK, Health{
+		SchemaVersion: WireSchemaVersion,
+		WorkerID:      w.cfg.ID,
+		Inflight:      w.inflight.Load(),
+		Completed:     w.completed.Load(),
+	})
+}
+
+// Completed reports how many assignments this worker has answered.
+func (w *Worker) Completed() uint64 { return w.completed.Load() }

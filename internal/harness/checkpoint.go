@@ -160,12 +160,26 @@ func (s *CheckpointStore) path(fingerprint string) string {
 	return filepath.Join(s.dir, fingerprint+".ckpt")
 }
 
-// Save atomically and durably persists rec, replacing any previous
-// record of the same fingerprint: the bytes are fsynced before the
-// rename and the directory is fsynced after it, so a record Save
-// reported committed survives power loss, not just process crash. A
-// failed Save removes its temp file — the store never accumulates
+// ErrCheckpointConflict reports a Save whose fingerprint already holds
+// a valid record with different bytes. Cells are deterministic over
+// their fingerprint, so two disagreeing records for one fingerprint
+// mean corruption or nondeterminism somewhere — silently letting the
+// last writer win would poison every later resume with whichever
+// version happened to land second. Test with errors.Is.
+var ErrCheckpointConflict = errors.New("conflicting checkpoint record for fingerprint")
+
+// Save atomically and durably persists rec: the bytes are fsynced
+// before the rename and the directory is fsynced after it, so a record
+// Save reported committed survives power loss, not just process crash.
+// A failed Save removes its temp file — the store never accumulates
 // .tmp litter on error paths.
+//
+// Save is idempotent under concurrency: saving a record identical to
+// the one already stored is a no-op success (two fleet workers
+// finishing the same cell both "win"), while saving different bytes
+// over a valid existing record fails with ErrCheckpointConflict. A
+// corrupt or undecodable existing record is simply replaced — it was
+// never going to resume anyway.
 func (s *CheckpointStore) Save(rec CellRecord) error {
 	b, err := EncodeCellRecord(rec)
 	if err != nil {
@@ -173,6 +187,22 @@ func (s *CheckpointStore) Save(rec CellRecord) error {
 	}
 	final := s.path(rec.Fingerprint)
 	tmp := final + ".tmp"
+
+	// Serialize same-store saves so the compare-then-commit below is
+	// atomic with respect to this process; cross-process racers fall
+	// back on the rename's atomicity (identical bytes commute, and a
+	// conflicting racer is caught by whichever writer checks second).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, rerr := os.ReadFile(final); rerr == nil {
+		if bytes.Equal(existing, b) {
+			return nil
+		}
+		if _, derr := DecodeCellRecord(existing); derr == nil {
+			return fmt.Errorf("harness: %w %s", ErrCheckpointConflict, rec.Fingerprint)
+		}
+		// Existing record is corrupt: replace it.
+	}
 	if err := writeFileSync(tmp, b); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("harness: writing checkpoint: %w", err)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -286,5 +287,99 @@ func TestFuzzCheckpointDecodeSeedsPass(t *testing.T) {
 	}
 	if _, err := DecodeCellRecord([]byte("ENTCKPT v1 deadbeef\n{}")); err == nil {
 		t.Error("short checksum accepted")
+	}
+}
+
+// TestCheckpointStoreSaveIdempotent: two fleet workers finishing the
+// same cell both Save the identical record; both must succeed without
+// an error and without doubling files — re-persisting what is already
+// stored is a no-op, not a conflict.
+func TestCheckpointStoreSaveIdempotent(t *testing.T) {
+	store, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	const savers = 8
+	errs := make(chan error, savers)
+	start := make(chan struct{})
+	for i := 0; i < savers; i++ {
+		go func() {
+			<-start
+			errs <- store.Save(rec)
+		}()
+	}
+	close(start)
+	for i := 0; i < savers; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent identical Save: %v", err)
+		}
+	}
+	if n, err := store.Count(); err != nil || n != 1 {
+		t.Errorf("Count after %d identical saves = %d, %v", savers, n, err)
+	}
+	got, ok, err := store.Load(rec.Fingerprint)
+	if err != nil || !ok {
+		t.Fatalf("Load: ok %v, err %v", ok, err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("record damaged by concurrent saves:\ngot  %+v\nwant %+v", got, rec)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(store.Dir(), "*.tmp")); len(tmps) != 0 {
+		t.Errorf("stale temp files: %v", tmps)
+	}
+}
+
+// TestCheckpointStoreSaveConflict: a Save whose fingerprint already
+// holds a valid record with *different* bytes must fail with
+// ErrCheckpointConflict and leave the original record untouched —
+// disagreeing results for one deterministic cell are evidence of
+// corruption, never something to paper over by overwriting.
+func TestCheckpointStoreSaveConflict(t *testing.T) {
+	store, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	if err := store.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	altered := rec
+	altered.Result.R.Cycles++ // same fingerprint, different result bytes
+	err = store.Save(altered)
+	if !errors.Is(err, ErrCheckpointConflict) {
+		t.Fatalf("conflicting Save error = %v, want ErrCheckpointConflict", err)
+	}
+	got, ok, lerr := store.Load(rec.Fingerprint)
+	if lerr != nil || !ok {
+		t.Fatalf("Load after conflict: ok %v, err %v", ok, lerr)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("conflicting Save modified the stored record:\ngot  %+v\nwant %+v", got, rec)
+	}
+}
+
+// TestCheckpointStoreSaveReplacesCorrupt: a corrupt record on disk was
+// never going to resume; a fresh Save of the same fingerprint replaces
+// it instead of reporting a conflict against garbage.
+func TestCheckpointStoreSaveReplacesCorrupt(t *testing.T) {
+	store, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	path := filepath.Join(store.Dir(), rec.Fingerprint+".ckpt")
+	if err := os.WriteFile(path, []byte("ENTCKPT v1 garbage\nnot json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(rec); err != nil {
+		t.Fatalf("Save over corrupt record: %v", err)
+	}
+	got, ok, lerr := store.Load(rec.Fingerprint)
+	if lerr != nil || !ok {
+		t.Fatalf("Load after replacing corruption: ok %v, err %v", ok, lerr)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("replaced record differs:\ngot  %+v\nwant %+v", got, rec)
 	}
 }

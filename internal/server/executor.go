@@ -2,49 +2,35 @@ package server
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"entangling/internal/faultinject"
 	"entangling/internal/harness"
-	"entangling/internal/workload"
 )
 
-// This file is the server's content-addressed execution layer. A cell
-// — one (configuration, workload, windows) simulation — is identified
-// by harness.CellFingerprint, and resolving one walks a strict
-// hierarchy: the in-process result cache, the durable checkpoint
-// store (which is how a warm restart answers repeat jobs with zero
-// re-simulation), and finally a singleflighted "flight" that runs the
-// cell through harness.RunSuiteCtx exactly once no matter how many
-// concurrent jobs want it. Flights run on a detached context
-// refcounted by their subscribers, so one job canceling never kills a
-// simulation another job is still waiting on.
+// This file is the Resolver's flight machinery: the singleflight tier
+// of the resolution hierarchy defined in dispatch.go. A cell that
+// misses the in-process cache and the checkpoint store joins (or
+// starts) a flight — one in-progress invocation of the CellRunner,
+// shared by every subscriber that arrived before it finished. Flights
+// run on a detached context refcounted by their subscribers, so one
+// job canceling never kills a run another job is still waiting on.
 
-// cellOutcome is a resolved cell: a result or a typed cell error,
-// plus where the result came from (Source* constants).
-type cellOutcome struct {
-	res    harness.RunResult
-	err    *harness.CellError
-	source string
-}
-
-// flight is one in-progress simulation of a cell, shared by every
-// subscriber that arrived before it finished.
+// flight is one in-progress resolution of a cell.
 type flight struct {
-	done chan struct{}
-	res  harness.RunResult
-	err  *harness.CellError
+	done   chan struct{}
+	res    harness.RunResult
+	source string
+	err    *harness.CellError
 
 	// subscribers is the refcount of jobs waiting; when it reaches
-	// zero before the simulation finishes, cancel aborts the detached
-	// run (nobody wants the answer anymore).
+	// zero before the run finishes, cancel aborts the detached run
+	// (nobody wants the answer anymore).
 	subscribers int
 	cancel      context.CancelFunc
 
-	// listeners fan harness progress events (retries) out to the
+	// listeners fan runner progress events (retries) out to the
 	// subscribed jobs' event logs.
 	lmu       sync.Mutex
 	listeners map[int]func(harness.CellEvent)
@@ -78,83 +64,40 @@ func (f *flight) broadcast(ev harness.CellEvent) {
 	}
 }
 
-// executor resolves cells against the cache hierarchy and runs the
-// simulations that miss everywhere.
-type executor struct {
-	traces *workload.TraceCache
-	store  *harness.CheckpointStore // nil without -checkpoint-dir
-	opts   execOptions
-	stats  *counters
-
-	mu      sync.Mutex
-	mem     map[string]harness.RunResult
-	memFIFO []string
-	flights map[string]*flight
-}
-
-// execOptions is the per-cell execution policy every flight runs
-// under.
-type execOptions struct {
-	retries        int
-	retryBaseDelay time.Duration
-	cellTimeout    time.Duration
-	memCap         int
-}
-
-func newExecutor(traces *workload.TraceCache, store *harness.CheckpointStore, opts execOptions, stats *counters) *executor {
-	if opts.memCap <= 0 {
-		opts.memCap = 4096
-	}
-	return &executor{
-		traces:  traces,
-		store:   store,
-		opts:    opts,
-		stats:   stats,
-		mem:     make(map[string]harness.RunResult),
-		flights: make(map[string]*flight),
-	}
-}
-
-// resolveCell obtains the cell's result for one subscriber job. The
-// progress callback receives the harness lifecycle events of a live
-// simulation this job is subscribed to (retries, for the event
-// stream); it may be nil.
-func (x *executor) resolveCell(jobCtx context.Context, cfg harness.Configuration, spec workload.Spec,
-	fp string, warmup, measure uint64, plan *faultinject.Plan, progress func(harness.CellEvent)) cellOutcome {
-
-	canceledOutcome := func() cellOutcome {
-		return cellOutcome{err: &harness.CellError{
-			Config: cfg.Name, Workload: spec.Name,
-			Err: fmt.Errorf("%w: %v", harness.ErrCellCanceled, context.Cause(jobCtx)),
+// Dispatch obtains the cell's result for one subscriber. The progress
+// callback receives the lifecycle events of a live run this subscriber
+// is attached to (retries, for the event stream); it may be nil.
+func (x *Resolver) Dispatch(ctx context.Context, cell CellSpec, progress func(harness.CellEvent)) CellResult {
+	canceledOutcome := func() CellResult {
+		return CellResult{Err: &harness.CellError{
+			Config: cell.Config.Name, Workload: cell.Workload.Name,
+			Err: fmt.Errorf("%w: %v", harness.ErrCellCanceled, context.Cause(ctx)),
 		}}
 	}
 
 	for {
-		if jobCtx.Err() != nil {
+		if ctx.Err() != nil {
 			return canceledOutcome()
 		}
 		// 1. In-process result cache.
-		if res, ok := x.memGet(fp); ok {
-			x.stats.inc(&x.stats.cellsCacheMemory)
-			return cellOutcome{res: res, source: SourceCacheMemory}
+		if res, ok := x.memGet(cell.Fingerprint); ok {
+			return CellResult{Result: res, Source: SourceCacheMemory}
 		}
 		// 2. Durable checkpoint store: a warm restart serves repeat
 		// jobs from here with zero re-simulation.
 		if x.store != nil {
-			if rec, ok, err := x.store.Load(fp); err == nil && ok &&
-				rec.Config == cfg.Name && rec.Workload == spec.Name {
-				x.memPut(fp, rec.Result)
-				x.stats.inc(&x.stats.cellsCacheStore)
-				return cellOutcome{res: rec.Result, source: SourceCacheStore}
+			if rec, ok, err := x.store.Load(cell.Fingerprint); err == nil && ok &&
+				rec.Config == cell.Config.Name && rec.Workload == cell.Workload.Name {
+				x.memPut(cell.Fingerprint, rec.Result)
+				return CellResult{Result: rec.Result, Source: SourceCacheStore}
 			}
 		}
-		// 3. Singleflight: join the in-progress simulation, or start it.
-		key := flightKey(fp, plan)
+		// 3. Singleflight: join the in-progress run, or start it.
+		key := flightKey(cell.Fingerprint, cell.Plan)
 		f, created := x.joinFlight(key)
-		source := SourceShared
+		shared := !created
 		if created {
-			source = SourceSimulated
-			go x.runFlight(f, key, cfg, spec, fp, warmup, measure, plan)
+			go x.runFlight(f, key, cell)
 		}
 		var lis int
 		if progress != nil {
@@ -162,7 +105,7 @@ func (x *executor) resolveCell(jobCtx context.Context, cfg harness.Configuration
 		}
 		select {
 		case <-f.done:
-		case <-jobCtx.Done():
+		case <-ctx.Done():
 			if progress != nil {
 				f.dropListener(lis)
 			}
@@ -173,16 +116,20 @@ func (x *executor) resolveCell(jobCtx context.Context, cfg harness.Configuration
 			f.dropListener(lis)
 		}
 		x.leaveFlight(key, f)
-		if f.err != nil && f.err.Canceled() && jobCtx.Err() == nil {
+		if f.err != nil && f.err.Canceled() && ctx.Err() == nil {
 			// The flight died with its initiator's cancellation, not
 			// ours: retry — the next loop starts (or joins) a fresh
 			// flight, or hits the cache if a racer finished it.
 			continue
 		}
 		if f.err != nil {
-			return cellOutcome{err: f.err, source: source}
+			return CellResult{Err: f.err, Source: f.source}
 		}
-		return cellOutcome{res: f.res, source: source}
+		source := f.source
+		if shared {
+			source = SourceShared
+		}
+		return CellResult{Result: f.res, Source: source}
 	}
 }
 
@@ -198,12 +145,11 @@ func flightKey(fp string, plan *faultinject.Plan) string {
 
 // joinFlight subscribes to the cell's flight, creating it if absent;
 // created reports whether this caller must run it.
-func (x *executor) joinFlight(key string) (f *flight, created bool) {
+func (x *Resolver) joinFlight(key string) (f *flight, created bool) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if f, ok := x.flights[key]; ok {
 		f.subscribers++
-		x.stats.inc(&x.stats.cellsShared)
 		return f, false
 	}
 	f = &flight{
@@ -216,11 +162,15 @@ func (x *executor) joinFlight(key string) (f *flight, created bool) {
 }
 
 // leaveFlight drops one subscription; the last leaver of an
-// unfinished flight cancels the detached simulation.
-func (x *executor) leaveFlight(key string, f *flight) {
+// unfinished flight cancels the detached run.
+func (x *Resolver) leaveFlight(key string, f *flight) {
 	x.mu.Lock()
 	f.subscribers--
 	abandon := f.subscribers <= 0
+	// Snapshot under the lock: runFlight publishes f.cancel while
+	// holding it. A nil snapshot means the run hasn't started yet, and
+	// runFlight's own subscriber check will cancel it.
+	cancel := f.cancel
 	if abandon && x.flights[key] == f {
 		delete(x.flights, key)
 	}
@@ -229,21 +179,20 @@ func (x *executor) leaveFlight(key string, f *flight) {
 		select {
 		case <-f.done:
 		default:
-			if f.cancel != nil {
-				f.cancel()
+			if cancel != nil {
+				cancel()
 			}
 		}
 	}
 }
 
-// runFlight executes the cell through harness.RunSuiteCtx on a
-// detached context (canceled only when every subscriber leaves). The
-// harness provides retries, panic recovery, deadline enforcement and
-// checkpoint persistence; successful results are published to the
-// in-process cache.
-func (x *executor) runFlight(f *flight, key string, cfg harness.Configuration, spec workload.Spec,
-	fp string, warmup, measure uint64, plan *faultinject.Plan) {
-
+// runFlight executes the cell through the CellRunner on a detached
+// context (canceled only when every subscriber leaves). Successful
+// results are published to the in-process cache; the runner is
+// responsible for durable persistence (the local runner checkpoints
+// inside the harness, the fleet runner replicates to the coordinator
+// store).
+func (x *Resolver) runFlight(f *flight, key string, cell CellSpec) {
 	ctx, cancel := context.WithCancel(context.Background())
 	x.mu.Lock()
 	f.cancel = cancel
@@ -255,37 +204,17 @@ func (x *executor) runFlight(f *flight, key string, cfg harness.Configuration, s
 		cancel()
 	}
 
-	opt := harness.Options{
-		Warmup:         warmup,
-		Measure:        measure,
-		Parallelism:    1,
-		Traces:         x.traces,
-		Retries:        x.opts.retries,
-		RetryBaseDelay: x.opts.retryBaseDelay,
-		CellTimeout:    x.opts.cellTimeout,
-		Checkpoint:     x.store,
-		Progress:       f.broadcast,
-	}
-	if plan != nil {
-		opt.CellHook = faultinject.New(*plan).CellHook
-	}
-
-	s, err := harness.RunSuiteCtx(ctx, []workload.Spec{spec}, []harness.Configuration{cfg}, opt)
-	if err != nil {
-		cerr := firstCellError(err, s)
-		if cerr == nil {
-			cerr = &harness.CellError{Config: cfg.Name, Workload: spec.Name, Err: err}
-		}
+	res, source, cerr := x.run(ctx, cell, f.broadcast)
+	if cerr != nil {
 		f.err = cerr
 	} else {
-		f.res = s.Runs[cfg.Name][spec.Name]
-		x.memPut(fp, f.res)
-		x.stats.inc(&x.stats.cellsSimulated)
+		f.res, f.source = res, source
+		x.memPut(cell.Fingerprint, res)
 	}
 	// Retire the flight before publishing completion: later resolvers
 	// take the cache path for successes and a fresh flight for
-	// failures, so a failed simulation is never served as a sticky
-	// cached error.
+	// failures, so a failed run is never served as a sticky cached
+	// error.
 	x.mu.Lock()
 	if x.flights[key] == f {
 		delete(x.flights, key)
@@ -294,19 +223,7 @@ func (x *executor) runFlight(f *flight, key string, cfg harness.Configuration, s
 	close(f.done)
 }
 
-// firstCellError extracts the typed cell error of a one-cell sweep.
-func firstCellError(err error, s *harness.SuiteResults) *harness.CellError {
-	if s != nil && len(s.Failed) > 0 {
-		return s.Failed[0]
-	}
-	var cerr *harness.CellError
-	if errors.As(err, &cerr) {
-		return cerr
-	}
-	return nil
-}
-
-func (x *executor) memGet(fp string) (harness.RunResult, bool) {
+func (x *Resolver) memGet(fp string) (harness.RunResult, bool) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	r, ok := x.mem[fp]
@@ -316,7 +233,7 @@ func (x *executor) memGet(fp string) (harness.RunResult, bool) {
 // memPut caches a successful result, evicting oldest-inserted entries
 // past the cap (results are immutable and re-derivable, so FIFO is
 // good enough — the durable tier below never evicts).
-func (x *executor) memPut(fp string, r harness.RunResult) {
+func (x *Resolver) memPut(fp string, r harness.RunResult) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if _, ok := x.mem[fp]; ok {
@@ -324,7 +241,7 @@ func (x *executor) memPut(fp string, r harness.RunResult) {
 	}
 	x.mem[fp] = r
 	x.memFIFO = append(x.memFIFO, fp)
-	for len(x.memFIFO) > x.opts.memCap {
+	for len(x.memFIFO) > x.memCap {
 		evict := x.memFIFO[0]
 		x.memFIFO = x.memFIFO[1:]
 		delete(x.mem, evict)

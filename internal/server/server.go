@@ -52,8 +52,15 @@ type Config struct {
 	Budget workload.Budget
 
 	// CheckpointDir, when set, persists every simulated cell and
-	// serves warm restarts; empty disables durability.
+	// serves warm restarts; empty disables durability. Ignored when
+	// Dispatcher is set — an external dispatcher owns its own tiers.
 	CheckpointDir string
+
+	// Dispatcher, when set, resolves cells instead of the built-in
+	// in-process pool — this is how coordinator mode plugs the fleet
+	// in (internal/fleet). Nil means a LocalDispatcher over this
+	// server's trace cache and checkpoint store.
+	Dispatcher Dispatcher
 
 	// Retries, RetryBaseDelay and CellTimeout are the per-cell fault
 	// tolerance policy (see harness.Options).
@@ -121,6 +128,8 @@ type counters struct {
 	cellsCacheMemory uint64
 	cellsCacheStore  uint64
 	cellsShared      uint64
+	cellsFleet       uint64
+	cellsStolen      uint64
 	cellsFailed      uint64
 }
 
@@ -129,12 +138,12 @@ func (c *counters) inc(f *uint64) { atomic.AddUint64(f, 1) }
 // Server is the simulation job service. Create with New, serve its
 // Handler (or call Run), and stop with Drain.
 type Server struct {
-	cfg    Config
-	reg    *registries
-	traces *workload.TraceCache
-	store  *harness.CheckpointStore
-	exec   *executor
-	stats  counters
+	cfg      Config
+	reg      *registries
+	traces   *workload.TraceCache
+	store    *harness.CheckpointStore
+	dispatch Dispatcher
+	stats    counters
 
 	queue chan *job
 	// draining is closed when admission stops; drained is closed when
@@ -166,6 +175,10 @@ func New(cfg Config) (*Server, error) {
 		drained:  make(chan struct{}),
 		jobs:     make(map[string]*job),
 	}
+	if cfg.Dispatcher != nil {
+		s.dispatch = cfg.Dispatcher
+		return s, nil
+	}
 	if cfg.CheckpointDir != "" {
 		store, err := harness.OpenCheckpointStore(cfg.CheckpointDir)
 		if err != nil {
@@ -173,11 +186,13 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = store
 	}
-	s.exec = newExecutor(s.traces, s.store, execOptions{
-		retries:        cfg.Retries,
-		retryBaseDelay: cfg.RetryBaseDelay,
-		cellTimeout:    cfg.CellTimeout,
-	}, &s.stats)
+	s.dispatch = NewLocalDispatcher(LocalConfig{
+		Traces:         s.traces,
+		Store:          s.store,
+		Retries:        cfg.Retries,
+		RetryBaseDelay: cfg.RetryBaseDelay,
+		CellTimeout:    cfg.CellTimeout,
+	})
 	return s, nil
 }
 
@@ -273,9 +288,9 @@ func (s *Server) runJob(j *job) {
 		doc.Cells.Shared, doc.Cells.Failed)
 }
 
-// runCell resolves one cell and records the outcome on the job.
+// runCell resolves one cell through the dispatcher and records the
+// outcome on the job.
 func (s *Server) runCell(j *job, cfg harness.Configuration, spec workload.Spec, lease *traceLease) {
-	fp := j.spec.fingerprints[cfg.Name][spec.Name]
 	j.log.append(Event{Type: EventCellStarted, Config: cfg.Name, Workload: spec.Name})
 	start := time.Now()
 
@@ -287,20 +302,46 @@ func (s *Server) runCell(j *job, cfg harness.Configuration, spec workload.Spec, 
 			})
 		}
 	}
-	out := s.exec.resolveCell(j.ctx, cfg, spec, fp, j.spec.warmup, j.spec.measure, j.spec.plan, progress)
+	out := s.dispatch.Dispatch(j.ctx, CellSpec{
+		Config:      cfg,
+		Workload:    spec,
+		Warmup:      j.spec.warmup,
+		Measure:     j.spec.measure,
+		Fingerprint: j.spec.fingerprints[cfg.Name][spec.Name],
+		Plan:        j.spec.plan,
+	}, progress)
 	elapsed := time.Since(start).Milliseconds()
-	if out.source == SourceSimulated || out.source == SourceShared {
-		// A live simulation just materialized (or reused) this
-		// workload's trace; keep it resident for the job's remaining
-		// cells of the same workload.
+	if out.Source == SourceSimulated || out.Source == SourceShared {
+		// A live in-process simulation just materialized (or reused)
+		// this workload's trace; keep it resident for the job's
+		// remaining cells of the same workload.
 		lease.hold(spec)
 	}
-	if out.err != nil {
+	if out.Err != nil {
 		s.stats.inc(&s.stats.cellsFailed)
-		j.recordFailure(out.err, elapsed)
+		j.recordFailure(out.Err, elapsed)
 		return
 	}
-	j.recordResult(out.res, out.source, elapsed)
+	s.countSource(out.Source)
+	j.recordResult(out.Result, out.Source, elapsed)
+}
+
+// countSource bumps the provenance counter for a resolved cell.
+func (s *Server) countSource(source string) {
+	switch source {
+	case SourceSimulated:
+		s.stats.inc(&s.stats.cellsSimulated)
+	case SourceCacheMemory:
+		s.stats.inc(&s.stats.cellsCacheMemory)
+	case SourceCacheStore:
+		s.stats.inc(&s.stats.cellsCacheStore)
+	case SourceShared:
+		s.stats.inc(&s.stats.cellsShared)
+	case SourceFleet:
+		s.stats.inc(&s.stats.cellsFleet)
+	case SourceFleetStolen:
+		s.stats.inc(&s.stats.cellsStolen)
+	}
 }
 
 // countTerminal bumps the job outcome counter for a finalized job.

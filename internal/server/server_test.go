@@ -20,6 +20,7 @@ import (
 
 	"entangling/internal/faultinject"
 	"entangling/internal/harness"
+	"entangling/internal/leakcheck"
 	"entangling/internal/stats"
 	"entangling/internal/workload"
 )
@@ -42,9 +43,13 @@ func testConfig() Config {
 
 // startTestServer builds a Server, starts its workers, and serves its
 // Handler over httptest. Cleanup drains the server before closing the
-// listener so no worker outlives the test.
+// listener so no worker outlives the test, and leakcheck holds the
+// drain to that claim: the goroutine count must return to its
+// pre-server baseline (stuck flights, abandoned SSE followers and
+// undrained workers all fail the test with a stack dump).
 func startTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	leakcheck.Check(t)
 	cfg.Logf = t.Logf
 	s, err := New(cfg)
 	if err != nil {
