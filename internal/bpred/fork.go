@@ -1,0 +1,16 @@
+package bpred
+
+// Fork returns an independent deep copy of the predictor for
+// warmup-snapshot reuse: counter tables, BTB, RAS, indirect target
+// cache and all history/stat state are copied so the fork and the
+// original train independently from the same warmed starting point.
+func (p *Predictor) Fork() *Predictor {
+	f := *p
+	f.gshare = append([]uint8(nil), p.gshare...)
+	f.bimodal = append([]uint8(nil), p.bimodal...)
+	f.chooser = append([]uint8(nil), p.chooser...)
+	f.btb = append([]btbEntry(nil), p.btb...)
+	f.ras = append([]uint64(nil), p.ras...)
+	f.itc = append([]uint64(nil), p.itc...)
+	return &f
+}

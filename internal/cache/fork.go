@@ -1,0 +1,79 @@
+package cache
+
+// This file implements deep-copy forking of the memory hierarchy for
+// warmup-snapshot reuse: a warmed Machine is forked once per measured
+// window, so each level must be able to produce an independent copy of
+// every piece of mutable state — arrays, side-arrays, MSHRs, prefetch
+// queues, busy-until clocks and the lifecycle tracker's maps — that
+// subsequently diverges without sharing storage with the original.
+// Wiring (next-level pointers, listeners) is supplied by the caller,
+// which rebuilds the forked hierarchy bottom-up.
+
+// clone returns an independent deep copy of the L1I array.
+func (a *array) clone() *array {
+	c := *a
+	c.lines = append([]line(nil), a.lines...)
+	c.tags = append([]uint64(nil), a.tags...)
+	return &c
+}
+
+// clone returns an independent deep copy of a timing-cache array.
+func (a *tarray) clone() *tarray {
+	c := *a
+	c.lines = append([]tline(nil), a.lines...)
+	c.tags = append([]uint64(nil), a.tags...)
+	c.hint = append([]int32(nil), a.hint...)
+	return &c
+}
+
+// Fork returns an independent copy of the L1I wired to next and
+// listener. Everything mutable — tag/data array, MSHR entries,
+// prefetch-queue ring, clocks and counters — is deep-copied; the copy
+// and the original can be advanced independently and never share
+// storage.
+func (c *ICache) Fork(next Level, listener Listener) *ICache {
+	f := *c
+	f.arr = c.arr.clone()
+	f.next = next
+	f.listener = listener
+	f.mshr = append([]mshrEntry(nil), c.mshr...)
+	f.pq = append([]pqEntry(nil), c.pq...)
+	return &f
+}
+
+// Fork returns an independent copy of a timing level wired to next.
+func (c *TimingCache) Fork(next Level) *TimingCache {
+	f := *c
+	f.arr = c.arr.clone()
+	f.next = next
+	return &f
+}
+
+// Fork returns an independent copy of the DRAM model.
+func (d *DRAM) Fork() *DRAM {
+	f := *d
+	return &f
+}
+
+// Fork returns an independent copy of the lifecycle tracker delivering
+// feedback to sink (the forked machine's prefetcher, not the
+// original's). The lead histogram, the in-flight fill map and the
+// evicted-unused set/ring are all deep-copied.
+func (t *LifecycleTracker) Fork(sink FeedbackSink) *LifecycleTracker {
+	f := &LifecycleTracker{
+		lc:      t.lc,
+		lead:    t.lead.Clone(),
+		sink:    sink,
+		fills:   make(map[uint64]uint64, len(t.fills)),
+		evicted: make(map[uint64]struct{}, len(t.evicted)),
+		ring:    append([]uint64(nil), t.ring...),
+		ringPos: t.ringPos,
+	}
+	for k, v := range t.fills {
+		f.fills[k] = v
+	}
+	for k := range t.evicted {
+		f.evicted[k] = struct{}{}
+	}
+	return f
+}

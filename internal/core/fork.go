@@ -1,0 +1,55 @@
+package core
+
+import "entangling/internal/prefetch"
+
+// This file implements prefetch.Forkable for the Entangling
+// prefetcher, so warmed entangled state (table, history buffer, split
+// size table, pending candidate snapshots) can be deep-copied into a
+// forked machine for warmup-snapshot reuse.
+
+// assert interface compliance.
+var _ prefetch.Forkable = (*Entangling)(nil)
+
+// clone returns an independent copy of the entangled table.
+func (t *entangledTable) clone() *entangledTable {
+	c := *t
+	c.entries = append([]tableEntry(nil), t.entries...)
+	c.fifoPtr = append([]int(nil), t.fifoPtr...)
+	return &c
+}
+
+// clone returns an independent copy of the history buffer.
+func (h *historyBuffer) clone() *historyBuffer {
+	c := *h
+	c.entries = append([]historyEntry(nil), h.entries...)
+	return &c
+}
+
+// clone returns an independent copy of the split-design size table.
+func (t *sizeTable) clone() *sizeTable {
+	c := *t
+	c.entries = append([]sizeEntry(nil), t.entries...)
+	return &c
+}
+
+// Fork implements prefetch.Forkable: an independent deep copy bound to
+// issuer. The pending slots' candidate-snapshot buffers are reused
+// in-place across misses by snapshotInto, so each valid slot's backing
+// slices must be copied — a shared buffer would let the fork's next
+// snapshot overwrite the original's outstanding one.
+func (e *Entangling) Fork(issuer prefetch.Issuer) prefetch.Prefetcher {
+	f := *e
+	f.issuer = issuer
+	f.table = e.table.clone()
+	f.hist = e.hist.clone()
+	if e.sizes != nil {
+		f.sizes = e.sizes.clone()
+	}
+	f.ctxStack = append([]uint64(nil), e.ctxStack...)
+	for i := range f.pending {
+		p := &f.pending[i]
+		p.snap.lines = append([]uint64(nil), e.pending[i].snap.lines...)
+		p.snap.ts = append([]uint32(nil), e.pending[i].snap.ts...)
+	}
+	return &f
+}

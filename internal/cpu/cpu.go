@@ -20,6 +20,7 @@ package cpu
 
 import (
 	"context"
+	"errors"
 
 	"entangling/internal/bpred"
 	"entangling/internal/cache"
@@ -125,6 +126,14 @@ type Results struct {
 	// early-evicted / inaccurate) with the cycles late prefetches
 	// still saved.
 	Lifecycle stats.PrefetchLifecycle
+	// LeadP50 and LeadP99 are the median and 99th-percentile
+	// fill-to-first-use leads (cycles) of the timely prefetches in this
+	// window. The underlying histogram is snapshot at window start and
+	// diffed like every other counter, so warmup samples never leak
+	// into measured quantiles. Zero when the window had no timely
+	// prefetch with a recorded lead.
+	LeadP50 int
+	LeadP99 int
 	// Stalls attributes front-end and dispatch stall cycles to their
 	// causes; Stalls.Total() is the complete attributed count.
 	Stalls stats.StallBreakdown
@@ -146,9 +155,41 @@ func (r *Results) L1IHitRate() float64 {
 	return float64(r.L1I.Hits) / float64(r.L1I.Accesses)
 }
 
+// runState is the Machine's lifecycle position. A Machine moves
+// strictly forward: idle (fresh from New) -> warm (warmup window
+// consumed) -> done (measurement finished, or the run was canceled /
+// single-window). The state gates every entry point, so reusing a
+// consumed machine — which would silently fold one run's warmed
+// microarchitectural state into the next run's "warmup" — fails loudly
+// instead of corrupting windowed statistics.
+type runState uint8
+
+const (
+	stateIdle runState = iota
+	stateWarm
+	stateDone
+)
+
+// ErrMachineUsed reports an attempt to run or fork a Machine whose run
+// already completed (or was canceled partway). Build a new Machine
+// with New, or Fork a warm one.
+var ErrMachineUsed = errors.New("cpu: machine already consumed by a previous run")
+
+// ErrNotWarmed reports a measurement or Fork on a machine that has not
+// completed a warmup window.
+var ErrNotWarmed = errors.New("cpu: machine has no completed warmup window")
+
+// ErrNotForkable reports a Fork of a machine whose configuration pins
+// state Fork cannot deep-copy: an external L1I listener or branch
+// hook, or a prefetcher that does not implement prefetch.Forkable.
+// Such configurations simply stay on the sequential warmup path.
+var ErrNotForkable = errors.New("cpu: machine configuration does not support forking")
+
 // Machine is an assembled simulator instance. Build one per run.
 type Machine struct {
 	cfg Config
+
+	state runState
 
 	icache  *cache.ICache
 	l1d     *cache.TimingCache
@@ -251,8 +292,20 @@ func New(cfg Config) *Machine {
 func (m *Machine) Prefetcher() prefetch.Prefetcher { return m.pf }
 
 // LeadHistogram exposes the fill-to-first-use lead distribution of
-// timely prefetches over the whole run (warmup included).
+// timely prefetches accumulated since construction (an observability
+// hook). Windowed results do not read it directly: resultsSince
+// snapshots and diffs the histogram like every other counter, so the
+// quantiles in Results cover the measurement window only.
 func (m *Machine) LeadHistogram() *stats.Histogram { return m.tracker.LeadHistogram() }
+
+// Consumed returns how many instructions the machine has consumed from
+// its source — the trace-position handle a forked machine's caller
+// uses to advance a fresh SliceSource to the shared warmup boundary.
+func (m *Machine) Consumed() uint64 { return m.instrIdx }
+
+// Warmed reports whether the machine holds a completed warmup window
+// and may be forked or measured.
+func (m *Machine) Warmed() bool { return m.state == stateWarm }
 
 // fetchLine maps an instruction byte address to the line address the
 // hierarchy operates on.
@@ -277,10 +330,14 @@ type snapshot struct {
 	cycle             uint64
 	lifecycle         stats.PrefetchLifecycle
 	stalls            stats.StallBreakdown
+	// lead is a deep copy of the lead histogram at window start; nil
+	// (the whole-run snapshot) means "diff against empty".
+	lead *stats.Histogram
 }
 
 func (m *Machine) snap() snapshot {
 	return snapshot{
+		lead:           m.tracker.LeadHistogram().Clone(),
 		l1i:            *m.icache.Stats(),
 		l1d:            *m.l1d.Stats(),
 		l2:             *m.l2.Stats(),
@@ -299,20 +356,29 @@ func (m *Machine) snap() snapshot {
 }
 
 // Run consumes up to maxInstrs instructions from src and returns the
-// run's results. A Machine must not be reused across runs.
+// run's results. A Machine must not be reused across runs: a second
+// Run (or any run entry point) on a consumed machine panics with
+// ErrMachineUsed.
 func (m *Machine) Run(src trace.Source, maxInstrs uint64) Results {
+	if m.state != stateIdle {
+		panic(ErrMachineUsed)
+	}
+	m.state = stateDone
 	m.consume(src, maxInstrs, nil)
 	return m.resultsSince(snapshot{})
 }
 
 // RunWindows runs a warmup window whose statistics are discarded (the
 // paper uses a 20M-instruction warm-up, §IV-A), then a measurement
-// window, and returns results for the measurement window only.
+// window, and returns results for the measurement window only. It
+// panics with ErrMachineUsed on a consumed machine.
 func (m *Machine) RunWindows(src trace.Source, warmup, measure uint64) Results {
-	m.consume(src, warmup, nil)
-	s := m.snap()
-	m.consume(src, warmup+measure, nil)
-	return m.resultsSince(s)
+	res, err := m.RunWindowsCtx(context.Background(), src, warmup, measure)
+	if err != nil {
+		// Background is uncancellable; only contract misuse gets here.
+		panic(err)
+	}
+	return res
 }
 
 // RunWindowsCtx is RunWindows with cooperative cancellation: the hot
@@ -322,13 +388,47 @@ func (m *Machine) RunWindows(src trace.Source, warmup, measure uint64) Results {
 // results are not returned — a sweep treats the cell as not-run.
 // context.Background() has a nil Done channel, so the uncancellable
 // path stays on the allocation-free fast loop with no select.
+//
+// It is exactly WarmupCtx followed by MeasureCtx — the same two halves
+// the warmup-snapshot fork path runs on different machines — so the
+// sequential and forked paths cannot drift apart.
 func (m *Machine) RunWindowsCtx(ctx context.Context, src trace.Source, warmup, measure uint64) (Results, error) {
-	done := ctx.Done()
-	if !m.consume(src, warmup, done) {
-		return Results{}, ctx.Err()
+	if err := m.WarmupCtx(ctx, src, warmup); err != nil {
+		return Results{}, err
 	}
+	return m.MeasureCtx(ctx, src, measure)
+}
+
+// WarmupCtx consumes the warmup window, moving the machine from idle
+// to warm. A warm machine can be forked (Fork) and measured
+// (MeasureCtx). A canceled warmup leaves the machine consumed (done):
+// its partial state must never masquerade as a fresh warmup.
+func (m *Machine) WarmupCtx(ctx context.Context, src trace.Source, warmup uint64) error {
+	if m.state != stateIdle {
+		return ErrMachineUsed
+	}
+	if !m.consume(src, warmup, ctx.Done()) {
+		m.state = stateDone
+		return ctx.Err()
+	}
+	m.state = stateWarm
+	return nil
+}
+
+// MeasureCtx runs the measurement window on a warm machine and returns
+// windowed results, moving it warm -> done. src must be positioned at
+// the machine's consumption point (Consumed()) — for a forked machine,
+// a fresh SliceSource over the shared trace advanced to that handle.
+func (m *Machine) MeasureCtx(ctx context.Context, src trace.Source, measure uint64) (Results, error) {
+	switch m.state {
+	case stateIdle:
+		return Results{}, ErrNotWarmed
+	case stateDone:
+		return Results{}, ErrMachineUsed
+	}
+	m.state = stateDone
 	s := m.snap()
-	if !m.consume(src, warmup+measure, done) {
+	if !m.consume(src, m.instrIdx+measure, ctx.Done()) {
 		return Results{}, ctx.Err()
 	}
 	return m.resultsSince(s), nil
@@ -586,6 +686,18 @@ func (m *Machine) resultsSince(s snapshot) Results {
 		FetchBlocks:    m.blocks - s.blocks,
 		Lifecycle:      m.tracker.Lifecycle().Sub(s.lifecycle),
 		Stalls:         m.stalls.Sub(s.stalls),
+	}
+	// Window the lead distribution exactly like the counters above: the
+	// quantiles are computed on (current - snapshot), so warmup-window
+	// samples never leak into measured results. A nil snapshot (whole-
+	// run Run) diffs against empty.
+	lead := m.tracker.LeadHistogram()
+	if s.lead != nil {
+		lead = lead.Sub(s.lead)
+	}
+	if lead.Total() > 0 {
+		res.LeadP50 = lead.Quantile(0.50)
+		res.LeadP99 = lead.Quantile(0.99)
 	}
 	if lookups := m.pred.CondLookups - s.condLookups; lookups > 0 {
 		res.CondAccuracy = 1 - float64(m.pred.DirMispredicts-s.dirMispredicts)/float64(lookups)

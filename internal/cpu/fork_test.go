@@ -1,0 +1,266 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"entangling/internal/cache"
+	_ "entangling/internal/core" // register entangling prefetchers
+	"entangling/internal/prefetch"
+	"entangling/internal/workload"
+)
+
+// forkTrace materializes a shared srv trace, the setting forking
+// exists for: every machine under test reads the same immutable
+// stream, sequentially or mid-stream via SourceAt.
+func forkTrace(t *testing.T, seed, n uint64) *workload.Trace {
+	t.Helper()
+	p := workload.Preset(workload.Srv)
+	p.Name = "srv"
+	p.Seed = seed
+	tr, err := workload.Materialize(workload.Spec{Name: "srv", Params: p}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func pfConfig(t *testing.T, name string) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	if name != "no" {
+		cfg.Prefetcher = func(i prefetch.Issuer) prefetch.Prefetcher {
+			pf, err := prefetch.New(name, i)
+			if err != nil {
+				t.Fatalf("prefetch.New(%q): %v", name, err)
+			}
+			return pf
+		}
+	}
+	return cfg
+}
+
+// TestForkEquivalence is the core claim of warmup-snapshot forking: a
+// machine forked at the warmup boundary and measured over the
+// remaining stream produces results identical — field for field,
+// including the windowed lead quantiles — to a machine that ran
+// warmup+measure sequentially. Verified for every shipped prefetcher
+// family, for the fork's original, and for a fork of a fork (the
+// stored-snapshot reuse shape).
+func TestForkEquivalence(t *testing.T) {
+	const warmup, measure = 150_000, 100_000
+	tr := forkTrace(t, 21, warmup+measure)
+	ctx := context.Background()
+	for _, name := range []string{
+		"no", "nextline", "sn4l", "mana-4k", "rdip", "djolt", "fnl+mma",
+		"entangling-4k", "epi",
+	} {
+		t.Run(name, func(t *testing.T) {
+			seq := New(pfConfig(t, name))
+			want, err := seq.RunWindowsCtx(ctx, tr.Source(), warmup, measure)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			warm := New(pfConfig(t, name))
+			src := tr.Source()
+			if err := warm.WarmupCtx(ctx, src, warmup); err != nil {
+				t.Fatal(err)
+			}
+			f1, err := warm.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fork of a fork: a stored snapshot is itself a fork and is
+			// forked once per reuse.
+			f2, err := f1.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos := warm.Consumed() // trace position at the fork point
+
+			// The original machine continues its own source.
+			got, err := warm.MeasureCtx(ctx, src, measure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("warmed original diverged from sequential run:\n got %+v\nwant %+v", got, want)
+			}
+			// The forks resume fresh sources at the stored position.
+			for i, f := range []*Machine{f1, f2} {
+				got, err := f.MeasureCtx(ctx, tr.SourceAt(pos), measure)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("fork %d diverged from sequential run:\n got %+v\nwant %+v", i+1, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMachineSingleUse holds the "a Machine must not be reused across
+// runs" contract: every second use of a consumed machine fails loudly.
+func TestMachineSingleUse(t *testing.T) {
+	tr := forkTrace(t, 22, 60_000)
+
+	t.Run("second Run panics", func(t *testing.T) {
+		m := New(DefaultConfig())
+		m.Run(tr.Source(), 30_000)
+		defer func() {
+			if r := recover(); !errors.Is(r.(error), ErrMachineUsed) {
+				t.Errorf("panic %v, want ErrMachineUsed", r)
+			}
+		}()
+		m.Run(tr.Source(), 30_000)
+		t.Fatal("second Run did not panic")
+	})
+
+	t.Run("second RunWindows panics", func(t *testing.T) {
+		m := New(DefaultConfig())
+		m.RunWindows(tr.Source(), 20_000, 20_000)
+		defer func() {
+			if r := recover(); !errors.Is(r.(error), ErrMachineUsed) {
+				t.Errorf("panic %v, want ErrMachineUsed", r)
+			}
+		}()
+		m.RunWindows(tr.Source(), 20_000, 20_000)
+		t.Fatal("second RunWindows did not panic")
+	})
+
+	t.Run("ctx entry points return typed errors", func(t *testing.T) {
+		ctx := context.Background()
+		m := New(DefaultConfig())
+		if _, err := m.MeasureCtx(ctx, tr.Source(), 10_000); !errors.Is(err, ErrNotWarmed) {
+			t.Errorf("MeasureCtx on idle machine: %v, want ErrNotWarmed", err)
+		}
+		if _, err := m.RunWindowsCtx(ctx, tr.Source(), 20_000, 20_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WarmupCtx(ctx, tr.Source(), 10_000); !errors.Is(err, ErrMachineUsed) {
+			t.Errorf("WarmupCtx on consumed machine: %v, want ErrMachineUsed", err)
+		}
+		if _, err := m.MeasureCtx(ctx, tr.Source(), 10_000); !errors.Is(err, ErrMachineUsed) {
+			t.Errorf("MeasureCtx on consumed machine: %v, want ErrMachineUsed", err)
+		}
+	})
+}
+
+// TestForkStateErrors covers Fork misuse: forking before any warmup,
+// and forking a consumed machine.
+func TestForkStateErrors(t *testing.T) {
+	tr := forkTrace(t, 23, 40_000)
+	m := New(DefaultConfig())
+	if _, err := m.Fork(); !errors.Is(err, ErrNotWarmed) {
+		t.Errorf("Fork on idle machine: %v, want ErrNotWarmed", err)
+	}
+	if _, err := m.RunWindowsCtx(context.Background(), tr.Source(), 20_000, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fork(); !errors.Is(err, ErrMachineUsed) {
+		t.Errorf("Fork on consumed machine: %v, want ErrMachineUsed", err)
+	}
+}
+
+// noForkPF wraps a prefetcher without promoting Fork (the embedded
+// interface carries only the Prefetcher methods), modeling an external
+// prefetcher that does not implement prefetch.Forkable.
+type noForkPF struct{ prefetch.Prefetcher }
+
+// TestForkNotForkable: configurations that pin un-copyable state — an
+// oracle listener, a branch hook, a non-Forkable prefetcher — must
+// refuse to fork with ErrNotForkable (the harness's cue to keep the
+// cell on the sequential path), not fork a shallow lie.
+func TestForkNotForkable(t *testing.T) {
+	tr := forkTrace(t, 24, 40_000)
+	ctx := context.Background()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"branch hook", func(c *Config) { c.BranchHook = func(prefetch.BranchEvent) {} }},
+		{"extra listener", func(c *Config) { c.ExtraL1IListener = nopListener{} }},
+		{"non-forkable prefetcher", func(c *Config) {
+			c.Prefetcher = func(i prefetch.Issuer) prefetch.Prefetcher {
+				return noForkPF{prefetch.NewNextLine(i)}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			m := New(cfg)
+			if err := m.WarmupCtx(ctx, tr.Source(), 20_000); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Fork(); !errors.Is(err, ErrNotForkable) {
+				t.Errorf("Fork: %v, want ErrNotForkable", err)
+			}
+			// The machine itself is unharmed: the sequential path works.
+			if _, err := m.MeasureCtx(ctx, nil, 0); err != nil {
+				t.Errorf("MeasureCtx after refused fork: %v", err)
+			}
+		})
+	}
+}
+
+// TestForkUnderCancellation: a canceled warmup poisons the machine (it
+// must never be mistaken for a completed warmup and forked), and a
+// canceled forked measurement reports the context error without
+// touching its siblings.
+func TestForkUnderCancellation(t *testing.T) {
+	tr := forkTrace(t, 25, 300_000)
+
+	t.Run("canceled warmup cannot fork", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		m := New(DefaultConfig())
+		if err := m.WarmupCtx(ctx, tr.Source(), 200_000); !errors.Is(err, context.Canceled) {
+			t.Fatalf("WarmupCtx under canceled ctx: %v", err)
+		}
+		if _, err := m.Fork(); !errors.Is(err, ErrMachineUsed) {
+			t.Errorf("Fork after canceled warmup: %v, want ErrMachineUsed", err)
+		}
+	})
+
+	t.Run("canceled fork measurement leaves sibling intact", func(t *testing.T) {
+		m := New(DefaultConfig())
+		src := tr.Source()
+		if err := m.WarmupCtx(context.Background(), src, 150_000); err != nil {
+			t.Fatal(err)
+		}
+		f1, err := m.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := f1.MeasureCtx(ctx, tr.SourceAt(m.Consumed()), 100_000); !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled MeasureCtx: %v", err)
+		}
+		// The original still measures normally.
+		want, err := New(DefaultConfig()).RunWindowsCtx(context.Background(), tr.Source(), 150_000, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.MeasureCtx(context.Background(), src, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Error("sibling of canceled fork diverged from sequential run")
+		}
+	})
+}
+
+// nopListener is an inert cache listener for the not-forkable cases.
+type nopListener struct{}
+
+func (nopListener) OnAccess(cache.AccessEvent) {}
+func (nopListener) OnFill(cache.FillEvent)     {}
+func (nopListener) OnEvict(cache.EvictEvent)   {}

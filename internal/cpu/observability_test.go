@@ -115,9 +115,7 @@ func TestLifecycleWindowSubtraction(t *testing.T) {
 	full := m.Run(workload.NewWalker(prog), 400_000)
 
 	m2 := New(cfg)
-	w := workload.NewWalker(prog)
-	m2.Run(w, 200_000) // warmup window
-	second := m2.Run(w, 200_000)
+	second := m2.RunWindows(workload.NewWalker(prog), 200_000, 200_000)
 
 	// The second window's counters must be a strict sub-range: no more
 	// than the full run's, and less than a full re-count would give.

@@ -171,25 +171,23 @@ func TestMispredictPenaltyCosts(t *testing.T) {
 }
 
 func TestRunWindowsEqualsManualDelta(t *testing.T) {
-	// RunWindows(w, m) must equal the delta between two Run calls on
-	// the same machine.
+	// RunWindows(w, m) must equal the delta between full runs of w and
+	// w+m instructions. A machine is single-use now (a second Run
+	// panics — see TestMachineSingleUse in fork_test.go), so each run
+	// gets its own machine over the same deterministic stream; the two
+	// prefixes replay identically, making the delta exact.
 	p := loopSource(0x1000, 30, 10_000)
 	a := New(DefaultConfig())
 	ra := a.RunWindows(p, 50_000, 50_000)
 
-	q := loopSource(0x1000, 30, 10_000)
-	bm := New(DefaultConfig())
-	r1 := bm.Run(q, 50_000)
-	r2 := bm.Run(q, 100_000)
+	r1 := New(DefaultConfig()).Run(loopSource(0x1000, 30, 10_000), 50_000)
+	r2 := New(DefaultConfig()).Run(loopSource(0x1000, 30, 10_000), 100_000)
 	if ra.Instructions != r2.Instructions-r1.Instructions {
 		t.Errorf("instruction deltas differ: %d vs %d",
 			ra.Instructions, r2.Instructions-r1.Instructions)
 	}
-	// Run() finalizes by letting outstanding fills settle (the cache
-	// clock advances ~1000 cycles), so a second Run on the same machine
-	// starts slightly later; allow that slack.
 	delta := r2.Cycles - r1.Cycles
-	if delta < ra.Cycles || delta > ra.Cycles+1100 {
+	if delta != ra.Cycles {
 		t.Errorf("cycle deltas diverge: %d vs %d", ra.Cycles, delta)
 	}
 	if ra.L1I.Accesses != r2.L1I.Accesses-r1.L1I.Accesses {

@@ -28,19 +28,26 @@ import (
 // CheckpointSchemaVersion identifies the record layout; bump it on any
 // incompatible change. Records of another version never resume — their
 // cells re-run.
-const CheckpointSchemaVersion = 1
+//
+// Version history:
+//
+//	1: initial layout.
+//	2: cpu.Results gained the windowed lead-histogram quantiles
+//	   (LeadP50/LeadP99); v1 records would silently resume with the
+//	   fields zeroed, so they re-run instead.
+const CheckpointSchemaVersion = 2
 
 // checkpointMagic leads every record's header line.
 const checkpointMagic = "ENTCKPT"
 
 // CellRecord is one persisted (configuration, workload) result.
 type CellRecord struct {
-	SchemaVersion int    `json:"schema_version"`
+	SchemaVersion int `json:"schema_version"`
 	// Fingerprint commits the record to the exact cell it was measured
 	// on: configuration fields, workload parameters and run windows.
-	Fingerprint string `json:"fingerprint"`
-	Config      string `json:"config"`
-	Workload    string `json:"workload"`
+	Fingerprint string    `json:"fingerprint"`
+	Config      string    `json:"config"`
+	Workload    string    `json:"workload"`
 	Result      RunResult `json:"result"`
 }
 

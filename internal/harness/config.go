@@ -170,6 +170,14 @@ type Options struct {
 	// Called concurrently from worker goroutines; see ProgressFunc.
 	Progress ProgressFunc
 
+	// Warm, when non-nil, caches post-warmup machine snapshots keyed
+	// by warmup-equivalence class (see WarmupSnapshots): cells whose
+	// class already has a snapshot fork it and simulate only their
+	// measured window. Nil keeps every cell on the sequential
+	// warmup+measure path. Configurations that cannot fork fall back
+	// to the sequential path cell by cell either way.
+	Warm *WarmupSnapshots
+
 	// Checkpoint, when non-nil, persists every completed cell to the
 	// store so an interrupted sweep can be resumed.
 	Checkpoint *CheckpointStore
@@ -257,13 +265,7 @@ func RunTraceCtx(ctx context.Context, cfg Configuration, spec workload.Spec, tr 
 	if err != nil {
 		return RunResult{}, err
 	}
-
-	out := RunResult{Config: cfg.Name, Workload: spec.Name, Category: spec.Params.Category, R: r}
-	if ent, ok := m.Prefetcher().(*core.Entangling); ok {
-		s := ent.Stats()
-		out.Ent = &s
-	}
-	return out, nil
+	return runResultFrom(cfg, spec, m, r), nil
 }
 
 // RunSource executes one configuration over an arbitrary instruction

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"entangling/internal/core"
+	"entangling/internal/cpu"
+	"entangling/internal/workload"
+)
+
+// This file implements warmup-snapshot reuse above cpu.Machine.Fork.
+// Every cell of a sweep used to simulate its full warmup window even
+// when an identical warmup had already been simulated: the warmup
+// prefix of a cell depends only on the machine-shaping configuration
+// fields, the workload parameters and the warmup length — not on the
+// cell's display name or on anything that happens in the measured
+// window. Cells sharing that tuple form a warmup-equivalence class.
+//
+// A WarmupSnapshots cache runs each class's warmup exactly once: the
+// first cell of a class warms a machine sequentially, forks it, and
+// offers the pristine fork (plus the trace position it stopped at) to
+// the cache; every later cell of the class forks the stored snapshot
+// and simulates only its measured window, resuming the shared
+// materialized trace mid-stream. Cells whose configuration cannot be
+// forked (an oracle listener, a branch hook, a non-Forkable
+// prefetcher) simply never offer or hit — they stay on the sequential
+// path, cell by cell, with no mode switch anywhere above them.
+//
+// Correctness is gated end to end on fingerprints: a forked measured
+// window must export byte-identical metrics to the sequential run
+// (RunBenchCtx asserts this across iterations, and CI diffs a forked
+// sweep's export hash against a sequential one).
+
+// WarmupClass derives the warmup-equivalence class key of a cell: the
+// hash of every input that shapes the warmup prefix. Two cells share a
+// class exactly when their warmed machines are guaranteed identical —
+// same machine-shaping configuration fields (the display Name is
+// excluded), same fully derived workload parameters, same warmup
+// length. The measured window length is deliberately absent: it only
+// affects what happens after the fork point.
+func WarmupClass(cfg Configuration, spec workload.Spec, warmup uint64) string {
+	payload := struct {
+		Prefetcher string          `json:"prefetcher"`
+		IdealL1I   bool            `json:"ideal_l1i"`
+		L1IWays    int             `json:"l1i_ways"`
+		Physical   bool            `json:"physical"`
+		Params     workload.Params `json:"params"`
+		Warmup     uint64          `json:"warmup"`
+	}{cfg.Prefetcher, cfg.IdealL1I, cfg.L1IWays, cfg.Physical, spec.Params, warmup}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(err) // plain structs of scalars cannot fail to marshal
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// warmupSnapshotCap bounds the cache: one snapshot is a full machine
+// (cache arrays, predictor tables, prefetcher state), so an unbounded
+// map would grow with every distinct class ever warmed. 64 covers the
+// largest shipped sweep lineup with room to spare.
+const warmupSnapshotCap = 64
+
+// warmSnapshot is one stored post-warmup machine state. The machine is
+// pristine: it was forked immediately after its warmup window and is
+// never run — each reuse forks it again.
+type warmSnapshot struct {
+	m   *cpu.Machine
+	pos uint64 // instructions consumed at the fork point
+}
+
+// WarmupSnapshots caches post-warmup machine snapshots keyed by
+// warmup-equivalence class, shared across the cells (and sweeps) of
+// one driver. Safe for concurrent use.
+//
+// The cache never blocks a miss on another cell's in-flight warmup:
+// Fork either returns a fork of a stored snapshot immediately or
+// reports a miss, and the caller warms sequentially and Offers the
+// result. Two cells of the same class racing their warmups waste one
+// warmup — nothing deadlocks, and cancellation, cell timeouts and
+// fault injection need no cache-aware handling.
+type WarmupSnapshots struct {
+	mu      sync.Mutex
+	entries map[string]warmSnapshot
+}
+
+// NewWarmupSnapshots returns an empty snapshot cache.
+func NewWarmupSnapshots() *WarmupSnapshots {
+	return &WarmupSnapshots{entries: make(map[string]warmSnapshot)}
+}
+
+// Fork returns a fresh fork of the stored snapshot for class and the
+// trace position its measured window must resume from, or ok=false on
+// a miss. The fork is performed outside the cache lock: stored
+// machines are never mutated after Offer, so concurrent forks of the
+// same snapshot only ever read it.
+func (w *WarmupSnapshots) Fork(class string) (*cpu.Machine, uint64, bool) {
+	if w == nil {
+		return nil, 0, false
+	}
+	w.mu.Lock()
+	snap, ok := w.entries[class]
+	w.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	f, err := snap.m.Fork()
+	if err != nil {
+		// A stored snapshot is warm and forkable by construction; an
+		// error here means the entry is unusable — drop it and miss.
+		w.mu.Lock()
+		if cur, still := w.entries[class]; still && cur.m == snap.m {
+			delete(w.entries, class)
+		}
+		w.mu.Unlock()
+		return nil, 0, false
+	}
+	return f, snap.pos, true
+}
+
+// Offer stores a pristine post-warmup fork for class. The machine must
+// never be run by the caller afterwards — the cache owns it. The first
+// offer for a class wins (racing warmups of one class are identical by
+// definition, so which one lands is immaterial); offers past the cache
+// cap are dropped.
+func (w *WarmupSnapshots) Offer(class string, m *cpu.Machine, pos uint64) {
+	if w == nil || m == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.entries[class]; dup || len(w.entries) >= warmupSnapshotCap {
+		return
+	}
+	w.entries[class] = warmSnapshot{m: m, pos: pos}
+}
+
+// Len reports the number of stored snapshots.
+func (w *WarmupSnapshots) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// runResultFrom packages a finished machine's results as the cell's
+// RunResult (shared by the sequential and forked paths).
+func runResultFrom(cfg Configuration, spec workload.Spec, m *cpu.Machine, r cpu.Results) RunResult {
+	out := RunResult{Config: cfg.Name, Workload: spec.Name, Category: spec.Params.Category, R: r}
+	if ent, ok := m.Prefetcher().(*core.Entangling); ok {
+		s := ent.Stats()
+		out.Ent = &s
+	}
+	return out
+}
+
+// RunTraceWarmCtx is RunTraceCtx with warmup-snapshot reuse. On a
+// class hit it forks the stored snapshot and simulates only the
+// measured window, resuming the trace at the stored position; on a
+// miss it warms sequentially, offers a pristine fork to the cache, and
+// measures on the original machine. Configurations that cannot fork
+// (cpu.ErrNotForkable) run exactly like RunTraceCtx. A nil warm cache
+// is the sequential path itself.
+func RunTraceWarmCtx(ctx context.Context, cfg Configuration, spec workload.Spec, tr *workload.Trace, warmup, measure uint64, warm *WarmupSnapshots) (RunResult, error) {
+	if warm == nil {
+		return RunTraceCtx(ctx, cfg, spec, tr, warmup, measure)
+	}
+	class := WarmupClass(cfg, spec, warmup)
+	if f, pos, ok := warm.Fork(class); ok {
+		r, err := f.MeasureCtx(ctx, tr.SourceAt(pos), measure)
+		if err != nil {
+			return RunResult{}, err
+		}
+		return runResultFrom(cfg, spec, f, r), nil
+	}
+
+	m, err := machineFor(cfg, spec.Params.Seed, nil, nil)
+	if err != nil {
+		return RunResult{}, err
+	}
+	src := tr.Source()
+	if err := m.WarmupCtx(ctx, src, warmup); err != nil {
+		return RunResult{}, err
+	}
+	// Fork immediately after the warmup window, before the measured
+	// window mutates anything — the snapshot must be exactly the state
+	// a sequential run has at its warmup/measure boundary.
+	if f, ferr := m.Fork(); ferr == nil {
+		warm.Offer(class, f, m.Consumed())
+	} else if !errors.Is(ferr, cpu.ErrNotForkable) {
+		return RunResult{}, ferr
+	}
+	r, err := m.MeasureCtx(ctx, src, measure)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return runResultFrom(cfg, spec, m, r), nil
+}

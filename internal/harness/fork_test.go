@@ -1,0 +1,269 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"entangling/internal/faultinject"
+	"entangling/internal/workload"
+)
+
+// forkBatterySpecs returns the differential battery's workloads: the
+// CVP suite under two distinct seeds per category, so every class is
+// exercised on streams that differ in everything but shape.
+func forkBatterySpecs() []workload.Spec {
+	specs := workload.CVPSuite(1)
+	reseeded := workload.CVPSuite(1)
+	for i := range reseeded {
+		reseeded[i].Name += "-s2"
+		reseeded[i].Params.Name = reseeded[i].Name
+		reseeded[i].Params.Seed ^= 0x9E3779B97F4A7C15
+	}
+	return append(specs, reseeded...)
+}
+
+// sweepSHA runs the sweep and returns its serialized metrics export.
+func sweepSHA(t *testing.T, specs []workload.Spec, cfgs []Configuration, opt Options) ([]byte, *SuiteResults) {
+	t.Helper()
+	s, err := RunSuiteCtx(context.Background(), specs, cfgs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, s.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), s
+}
+
+// TestForkedSweepMatchesSequential is the end-to-end equivalence gate
+// of warmup-snapshot forking: the full 16-configuration lineup over
+// two seeds per workload category, run (a) sequentially, (b) with a
+// cold snapshot cache (every class warms and offers), and (c) with the
+// warm cache at parallelism 1 (every class forks, no warmup simulated
+// at all) — all three metrics exports must be byte-identical. An
+// aliased configuration (same machine-shaping fields, different name)
+// rides along to prove within-sweep class sharing changes nothing.
+func TestForkedSweepMatchesSequential(t *testing.T) {
+	specs := forkBatterySpecs()
+	cfgs := append(StandardConfigurations(),
+		Configuration{Name: "entangling-4k-alias", Prefetcher: "entangling-4k"})
+	opt := Options{Warmup: 80_000, Measure: 50_000, Parallelism: 8}
+
+	seq, _ := sweepSHA(t, specs, cfgs, opt)
+
+	warm := NewWarmupSnapshots()
+	opt.Warm = warm
+	cold, _ := sweepSHA(t, specs, cfgs, opt)
+	if !bytes.Equal(seq, cold) {
+		t.Fatal("forked sweep (cold cache) metrics differ from sequential sweep")
+	}
+	if warm.Len() == 0 {
+		t.Fatal("cold forked sweep offered no warmup snapshots")
+	}
+
+	opt.Parallelism = 1
+	hot, s := sweepSHA(t, specs, cfgs, opt)
+	if !bytes.Equal(seq, hot) {
+		t.Fatal("forked sweep (hot cache, parallelism 1) metrics differ from sequential sweep")
+	}
+
+	// The alias shares entangling-4k's warmup class; its per-workload
+	// results must be identical to the original's.
+	for _, wl := range s.WorkloadOrder {
+		a, b := s.Runs["entangling-4k"][wl], s.Runs["entangling-4k-alias"][wl]
+		if !reflect.DeepEqual(a.R, b.R) {
+			t.Errorf("aliased configuration diverged from entangling-4k on %s", wl)
+		}
+	}
+}
+
+// TestRunTraceWarmCtxHitEqualsMiss drives the warm path directly: the
+// first call warms and offers, the second forks the snapshot, and both
+// must equal the plain sequential RunTraceCtx result exactly.
+func TestRunTraceWarmCtxHitEqualsMiss(t *testing.T) {
+	ctx := context.Background()
+	spec := workload.CVPSuite(1)[0]
+	cfg := Configuration{Name: "djolt", Prefetcher: "djolt"}
+	const warmup, measure = 100_000, 60_000
+	tr, err := workload.Materialize(spec, warmup+measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := RunTraceCtx(ctx, cfg, spec, tr, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewWarmupSnapshots()
+	miss, err := RunTraceWarmCtx(ctx, cfg, spec, tr, warmup, measure, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Len() != 1 {
+		t.Fatalf("snapshot cache holds %d entries after a miss, want 1", warm.Len())
+	}
+	hit, err := RunTraceWarmCtx(ctx, cfg, spec, tr, warmup, measure, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(miss, want) {
+		t.Error("miss-path result differs from sequential RunTraceCtx")
+	}
+	if !reflect.DeepEqual(hit, want) {
+		t.Error("hit-path (forked) result differs from sequential RunTraceCtx")
+	}
+}
+
+// TestForkedSweepWithFaultPlan re-runs the fault-tolerance battery on
+// the forked path: injected cell panics and errors (with retries) must
+// not disturb the snapshot cache or the final export.
+func TestForkedSweepWithFaultPlan(t *testing.T) {
+	specs := workload.CVPSuite(1)
+	cfgs := []Configuration{
+		Baseline,
+		{Name: "nextline", Prefetcher: "nextline"},
+		{Name: "entangling-2k", Prefetcher: "entangling-2k"},
+	}
+	opt := Options{Warmup: 80_000, Measure: 50_000, Parallelism: 4}
+	clean, _ := sweepSHA(t, specs, cfgs, opt)
+
+	inj := faultinject.New(faultinject.Plan{
+		Seed:          7,
+		CellPanicProb: 0.3,
+		CellErrorProb: 0.3,
+	})
+	opt.Warm = NewWarmupSnapshots()
+	opt.CellHook = inj.CellHook
+	opt.Retries = 3
+	faulty, _ := sweepSHA(t, specs, cfgs, opt)
+	if inj.Stats().Total() == 0 {
+		t.Fatal("fault plan injected nothing; the battery proved nothing")
+	}
+	if !bytes.Equal(clean, faulty) {
+		t.Fatal("forked sweep under fault injection diverged from clean sequential sweep")
+	}
+}
+
+// TestForkedSweepCancellation: cancellation with a warm cache behaves
+// exactly like the sequential path — abandoned cells come back as
+// ErrCellCanceled, nothing deadlocks waiting on a snapshot.
+func TestForkedSweepCancellation(t *testing.T) {
+	specs := workload.CVPSuite(1)
+	cfgs := []Configuration{Baseline, {Name: "nextline", Prefetcher: "nextline"}}
+	warm := NewWarmupSnapshots()
+	opt := Options{Warmup: 200_000, Measure: 200_000, Parallelism: 2, Warm: warm}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSuiteCtx(ctx, specs, cfgs, opt)
+	if !errors.Is(err, ErrCellCanceled) {
+		t.Fatalf("canceled forked sweep: %v, want ErrCellCanceled", err)
+	}
+	// A canceled warmup must never have been offered as a snapshot.
+	if warm.Len() != 0 {
+		t.Errorf("canceled sweep left %d snapshots in the cache", warm.Len())
+	}
+}
+
+// TestWarmupClassKey pins the equivalence-class definition: the
+// display name and the measure window are excluded; every
+// machine-shaping field, the workload parameters and the warmup length
+// are included.
+func TestWarmupClassKey(t *testing.T) {
+	spec := workload.CVPSuite(1)[0]
+	base := Configuration{Name: "a", Prefetcher: "djolt"}
+	if WarmupClass(base, spec, 1000) != WarmupClass(Configuration{Name: "b", Prefetcher: "djolt"}, spec, 1000) {
+		t.Error("class must ignore the display name")
+	}
+	diffs := []Configuration{
+		{Name: "a", Prefetcher: "nextline"},
+		{Name: "a", Prefetcher: "djolt", IdealL1I: true},
+		{Name: "a", Prefetcher: "djolt", L1IWays: 16},
+		{Name: "a", Prefetcher: "djolt", Physical: true},
+	}
+	for _, d := range diffs {
+		if WarmupClass(base, spec, 1000) == WarmupClass(d, spec, 1000) {
+			t.Errorf("class collision between %+v and %+v", base, d)
+		}
+	}
+	if WarmupClass(base, spec, 1000) == WarmupClass(base, spec, 2000) {
+		t.Error("class must include the warmup length")
+	}
+	spec2 := spec
+	spec2.Params.Seed++
+	if WarmupClass(base, spec, 1000) == WarmupClass(base, spec2, 1000) {
+		t.Error("class must include the workload parameters")
+	}
+}
+
+// TestWarmupSnapshotsSemantics covers the cache contract: nil-safety,
+// first-offer-wins, the entry cap, and the self-healing drop of an
+// unusable entry.
+func TestWarmupSnapshotsSemantics(t *testing.T) {
+	var nilCache *WarmupSnapshots
+	if _, _, ok := nilCache.Fork("x"); ok {
+		t.Error("nil cache must always miss")
+	}
+	nilCache.Offer("x", nil, 0) // must not panic
+	if nilCache.Len() != 0 {
+		t.Error("nil cache has entries")
+	}
+
+	spec := workload.CVPSuite(1)[0]
+	tr, err := workload.Materialize(spec, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machineFor(Baseline, spec.Params.Seed, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WarmupCtx(context.Background(), tr.Source(), 30_000); err != nil {
+		t.Fatal(err)
+	}
+
+	w := NewWarmupSnapshots()
+	for i := 0; i < warmupSnapshotCap+5; i++ {
+		f, err := m.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Offer(fmt.Sprintf("class-%02d", i), f, m.Consumed())
+	}
+	if w.Len() != warmupSnapshotCap {
+		t.Fatalf("cache holds %d entries, want cap %d", w.Len(), warmupSnapshotCap)
+	}
+	if _, _, ok := w.Fork(fmt.Sprintf("class-%02d", warmupSnapshotCap)); ok {
+		t.Error("offer past the cap was stored")
+	}
+	f, pos, ok := w.Fork("class-00")
+	if !ok || f == nil || pos != m.Consumed() {
+		t.Fatalf("stored snapshot did not fork (ok=%v pos=%d)", ok, pos)
+	}
+	if !f.Warmed() {
+		t.Error("forked snapshot is not warm")
+	}
+
+	// A consumed machine offered by mistake is unusable; the first Fork
+	// drops it and misses so the caller re-warms.
+	used, err := m.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := used.MeasureCtx(context.Background(), tr.SourceAt(m.Consumed()), 5_000); err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWarmupSnapshots()
+	w2.Offer("bad", used, m.Consumed())
+	if _, _, ok := w2.Fork("bad"); ok {
+		t.Error("fork of a consumed snapshot succeeded")
+	}
+	if w2.Len() != 0 {
+		t.Error("unusable entry was not dropped")
+	}
+}

@@ -19,7 +19,15 @@ import (
 
 // MetricsSchemaVersion identifies the exported JSON layout; bump it on
 // any incompatible change.
-const MetricsSchemaVersion = 1
+//
+// Version history:
+//
+//	1: initial layout.
+//	2: prefetch block gained lead_p50_cycles / lead_p99_cycles, now
+//	   that the lead histogram is windowed to the measured interval
+//	   like every other counter (it used to accumulate warmup fills,
+//	   which made its quantiles unexportable).
+const MetricsSchemaVersion = 2
 
 // PrefetchMetrics is the per-run prefetch-quality block.
 type PrefetchMetrics struct {
@@ -40,6 +48,11 @@ type PrefetchMetrics struct {
 	// MeanLeadCycles is the average fill-to-first-use lead of timely
 	// prefetches.
 	MeanLeadCycles float64 `json:"mean_lead_cycles"`
+	// LeadP50Cycles / LeadP99Cycles are bucket-lower-bound quantiles of
+	// the measured window's lead histogram (0 when the window had no
+	// timely fills).
+	LeadP50Cycles int `json:"lead_p50_cycles"`
+	LeadP99Cycles int `json:"lead_p99_cycles"`
 
 	Accuracy float64 `json:"accuracy"`
 }
@@ -104,6 +117,8 @@ func prefetchMetricsFor(r *cpu.Results) PrefetchMetrics {
 		LateCyclesSaved: r.Lifecycle.LateCyclesSaved,
 		LateCyclesShort: r.Lifecycle.LateCyclesShort,
 		MeanLeadCycles:  r.Lifecycle.MeanLead(),
+		LeadP50Cycles:   r.LeadP50,
+		LeadP99Cycles:   r.LeadP99,
 		Accuracy:        r.L1I.Accuracy(),
 	}
 }
@@ -190,7 +205,7 @@ func MetricsCSV(m SuiteMetrics) string {
 	sb.WriteString("config,workload,category,prefetcher,storage_bits,instructions,cycles,ipc," +
 		"l1i_accesses,l1i_misses,l1i_mpki,l1i_hit_rate,coverage,speedup," +
 		"pf_requested,pf_issued,pf_fills,pf_timely,pf_late,pf_early_evicted,pf_inaccurate," +
-		"pf_late_cycles_saved,pf_mean_lead_cycles,pf_accuracy," +
+		"pf_late_cycles_saved,pf_mean_lead_cycles,pf_lead_p50_cycles,pf_lead_p99_cycles,pf_accuracy," +
 		"stall_l1i_miss,stall_btb_miss,stall_mispredict,stall_ftq_full,stall_rob_full,stall_total\n")
 	opt := func(p *float64) string {
 		if p == nil {
@@ -199,14 +214,15 @@ func MetricsCSV(m SuiteMetrics) string {
 		return fmt.Sprintf("%.6f", *p)
 	}
 	for _, r := range m.Runs {
-		fmt.Fprintf(&sb, "%s,%s,%s,%s,%d,%d,%d,%.6f,%d,%d,%.4f,%.6f,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%.2f,%.6f,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%d,%d,%d,%.6f,%d,%d,%.4f,%.6f,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%.2f,%d,%d,%.6f,%d,%d,%d,%d,%d,%d\n",
 			r.Config, r.Workload, r.Category, r.Prefetcher, r.StorageBits,
 			r.Instructions, r.Cycles, r.IPC,
 			r.L1IAccesses, r.L1IMisses, r.L1IMPKI, r.L1IHitRate,
 			opt(r.Coverage), opt(r.Speedup),
 			r.Prefetch.Requested, r.Prefetch.Issued, r.Prefetch.Fills,
 			r.Prefetch.Timely, r.Prefetch.Late, r.Prefetch.EarlyEvicted, r.Prefetch.Inaccurate,
-			r.Prefetch.LateCyclesSaved, r.Prefetch.MeanLeadCycles, r.Prefetch.Accuracy,
+			r.Prefetch.LateCyclesSaved, r.Prefetch.MeanLeadCycles,
+			r.Prefetch.LeadP50Cycles, r.Prefetch.LeadP99Cycles, r.Prefetch.Accuracy,
 			r.Stalls.L1IMiss, r.Stalls.BTBMiss, r.Stalls.Mispredict,
 			r.Stalls.FTQFull, r.Stalls.ROBFull, r.Stalls.Total)
 	}

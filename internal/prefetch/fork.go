@@ -1,0 +1,104 @@
+package prefetch
+
+// This file defines the Forkable interface used by warmup-snapshot
+// forking (cpu.Machine.Fork): a forkable prefetcher can produce an
+// independent deep copy of its warmed state, rebound to the forked
+// machine's prefetch issuer. Every shipped prefetcher implements it;
+// an external prefetcher that does not simply keeps its configurations
+// on the sequential warmup path (the harness falls back cell by cell).
+//
+// The contract: Fork returns a prefetcher that, fed the same event
+// stream as the original from the fork point on, issues exactly the
+// same prefetches — and the two never share mutable storage, so they
+// can run concurrently on different goroutines. Purely transient
+// scratch state that is fully rebuilt before its next use (MANA's walk
+// dedupe slice, D-JOLT's per-trigger burst map) may be dropped by the
+// copy; everything that carries history across events must be deep.
+
+// Forkable is implemented by prefetchers that support warmup-snapshot
+// forking.
+type Forkable interface {
+	// Fork returns an independent deep copy issuing into issuer.
+	Fork(issuer Issuer) Prefetcher
+}
+
+// Fork implements Forkable. None carries no state.
+func (p *None) Fork(Issuer) Prefetcher {
+	f := *p
+	return &f
+}
+
+// Fork implements Forkable.
+func (p *NextLine) Fork(issuer Issuer) Prefetcher {
+	f := *p
+	f.issuer = issuer
+	return &f
+}
+
+// Fork implements Forkable.
+func (p *SN4L) Fork(issuer Issuer) Prefetcher {
+	f := *p
+	f.issuer = issuer
+	f.bits = append([]uint64(nil), p.bits...)
+	return &f
+}
+
+// Fork implements Forkable. walk is within-call scratch (reset to
+// empty at every region boundary before use), so the copy starts nil.
+func (p *MANA) Fork(issuer Issuer) Prefetcher {
+	f := *p
+	f.issuer = issuer
+	f.entries = append([]manaEntry(nil), p.entries...)
+	f.walk = nil
+	return &f
+}
+
+// Fork implements Forkable.
+func (p *RDIP) Fork(issuer Issuer) Prefetcher {
+	f := *p
+	f.issuer = issuer
+	f.entries = append([]rdipEntry(nil), p.entries...)
+	f.ras = append([]uint64(nil), p.ras...)
+	return &f
+}
+
+// clone returns an independent copy of a signature table.
+func (t *sigTable) clone() *sigTable {
+	c := *t
+	c.entries = append([]rdipEntry(nil), t.entries...)
+	return &c
+}
+
+// Fork implements Forkable. burst is within-call scratch (cleared at
+// every trigger before use, nil-tolerated), so the copy starts nil.
+func (p *DJolt) Fork(issuer Issuer) Prefetcher {
+	f := *p
+	f.issuer = issuer
+	f.short = p.short.clone()
+	f.long = p.long.clone()
+	f.callHist = append([]uint64(nil), p.callHist...)
+	f.burst = nil
+	return &f
+}
+
+// Fork implements Forkable.
+func (p *FNLMMA) Fork(issuer Issuer) Prefetcher {
+	f := *p
+	f.issuer = issuer
+	f.worth = append([]uint8(nil), p.worth...)
+	f.missTable = append([]fnlEntry(nil), p.missTable...)
+	f.ring = append([]uint64(nil), p.ring...)
+	return &f
+}
+
+// Fork implements Forkable.
+func (p *Lookahead) Fork(issuer Issuer) Prefetcher {
+	f := *p
+	f.issuer = issuer
+	f.table = make(map[uint64]uint64, len(p.table))
+	for k, v := range p.table {
+		f.table[k] = v
+	}
+	f.ring = append([]uint64(nil), p.ring...)
+	return &f
+}

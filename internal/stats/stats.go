@@ -229,6 +229,78 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// Clone returns an independent deep copy of h. Forked simulations
+// snapshot histograms with Clone so the fork and the original can keep
+// counting without sharing bucket storage.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.Buckets = append([]uint64(nil), h.Buckets...)
+	return &c
+}
+
+// Sub returns h - o bucket-wise as a new histogram, for measurement-
+// window extraction (o is the snapshot taken at window start). The
+// histograms must have the same shape, and h must dominate o — counts
+// only ever grow, so a bucket of h smaller than o's means the snapshot
+// does not belong to this histogram.
+func (h *Histogram) Sub(o *Histogram) *Histogram {
+	if o.Lo != h.Lo || len(o.Buckets) != len(h.Buckets) {
+		panic("stats: Sub requires identical histogram shapes")
+	}
+	if o.Underflow > h.Underflow || o.Overflow > h.Overflow {
+		panic("stats: Sub requires h to dominate the snapshot")
+	}
+	d := &Histogram{
+		Buckets:   make([]uint64, len(h.Buckets)),
+		Overflow:  h.Overflow - o.Overflow,
+		Underflow: h.Underflow - o.Underflow,
+		Lo:        h.Lo,
+	}
+	for i := range h.Buckets {
+		if o.Buckets[i] > h.Buckets[i] {
+			panic("stats: Sub requires h to dominate the snapshot")
+		}
+		d.Buckets[i] = h.Buckets[i] - o.Buckets[i]
+	}
+	return d
+}
+
+// Quantile returns the smallest bucket value v such that at least
+// q (0 < q <= 1) of all observations are <= v. Underflow counts as
+// below every bucket (it resolves to Lo); observations that landed in
+// Overflow resolve to Lo+len(Buckets) — one past the highest labelled
+// bucket — so a heavy tail is visible rather than clamped. Returns 0
+// when the histogram is empty. Deterministic: pure integer counting,
+// no floating-point accumulation order to vary.
+func (h *Histogram) Quantile(q float64) int {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based, computed in integers.
+	rank := uint64(math.Ceil(q * float64(t)))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := h.Underflow
+	if cum >= rank {
+		return h.Lo
+	}
+	for i, b := range h.Buckets {
+		cum += b
+		if cum >= rank {
+			return h.Lo + i
+		}
+	}
+	return h.Lo + len(h.Buckets)
+}
+
 // RunningMean accumulates a mean without storing samples.
 type RunningMean struct {
 	n   uint64
