@@ -64,6 +64,8 @@ func main() {
 	flag.DurationVar(&cfg.RetryBaseDelay, "retry-base-delay", 100*time.Millisecond, "backoff before a cell's first retry")
 	flag.DurationVar(&cfg.CellTimeout, "cell-timeout", 0, "per-cell attempt deadline (0 = none)")
 	flag.BoolVar(&cfg.AllowFaults, "allow-faults", false, "accept fault_plan in submissions (testing)")
+	flag.StringVar(&cfg.TraceDir, "trace-dir", "", "store uploaded traces here (default <checkpoint-dir>/traces when -checkpoint-dir is set)")
+	flag.Int64Var(&cfg.MaxTraceBytes, "max-trace-bytes", 128<<20, "largest accepted trace upload body in bytes")
 	flag.DurationVar(&cfg.DrainGrace, "drain-grace", 10*time.Second, "how long a drain waits for running jobs before canceling them")
 	flag.Parse()
 

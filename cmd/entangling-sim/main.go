@@ -215,7 +215,8 @@ func fatal(err error) {
 
 func resolveWorkload(name string, seed uint64) (entangling.WorkloadSpec, error) {
 	switch entangling.Category(name) {
-	case entangling.Crypto, entangling.Int, entangling.FP, entangling.Srv, entangling.Cloud:
+	case entangling.Crypto, entangling.Int, entangling.FP, entangling.Srv, entangling.Cloud,
+		entangling.JIT, entangling.Micro, entangling.Serverless:
 		p := entangling.VaryWorkload(entangling.WorkloadPreset(entangling.Category(name)), seed)
 		p.Name = fmt.Sprintf("%s-%d", name, seed)
 		return entangling.WorkloadSpec{Name: p.Name, Params: p}, nil
@@ -225,14 +226,22 @@ func resolveWorkload(name string, seed uint64) (entangling.WorkloadSpec, error) 
 			return s, nil
 		}
 	}
+	for _, s := range entangling.AdversarialWorkloads() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
 	return entangling.WorkloadSpec{}, fmt.Errorf(
-		"unknown workload %q (want crypto|int|fp|srv|cloud or one of: %s)",
-		name, strings.Join(cloudNames(), ", "))
+		"unknown workload %q (want crypto|int|fp|srv|cloud|jit|micro|serverless or one of: %s)",
+		name, strings.Join(namedWorkloads(), ", "))
 }
 
-func cloudNames() []string {
+func namedWorkloads() []string {
 	var out []string
 	for _, s := range entangling.CloudWorkloads() {
+		out = append(out, s.Name)
+	}
+	for _, s := range entangling.AdversarialWorkloads() {
 		out = append(out, s.Name)
 	}
 	return out

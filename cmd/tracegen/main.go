@@ -1,9 +1,11 @@
 // Command tracegen generates synthetic instruction traces in the
-// repository's binary trace format, and inspects existing trace files.
+// repository's binary trace format, imports real ChampSim traces into
+// it, and inspects existing trace files.
 //
 // Examples:
 //
 //	tracegen -category srv -seed 7 -n 1000000 -o srv7.trace -gzip
+//	tracegen -import 600.perlbench.champsim.gz -o perlbench.trace -gzip
 //	tracegen -inspect srv7.trace -head 20
 package main
 
@@ -11,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +32,9 @@ func main() {
 		gz       = flag.Bool("gzip", false, "compress the payload")
 		inspect  = flag.String("inspect", "", "trace file to inspect instead of generating")
 		head     = flag.Int("head", 10, "records to print when inspecting")
+		imp      = flag.String("import", "", "ChampSim trace to convert instead of generating (gzip auto-detected; - for stdin)")
+		synth    = flag.Bool("synth-data", false, "with -import: synthesize data addresses for memory-stripped records")
+		impMax   = flag.Uint64("import-max", 0, "with -import: reject inputs beyond this many instructions (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -40,6 +46,12 @@ func main() {
 	}
 	if *out == "" {
 		fatal(fmt.Errorf("-o is required (or use -inspect)"))
+	}
+	if *imp != "" {
+		if err := importChampSim(*imp, *out, *gz, *synth, *impMax); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	p := entangling.VaryWorkload(entangling.WorkloadPreset(entangling.Category(*category)), *seed)
@@ -88,6 +100,63 @@ func main() {
 	fmt.Printf("wrote %d instructions to %s (%d bytes, %.2f bytes/instr, code footprint %.1f KB)\n",
 		w.Count(), *out, st.Size(), float64(st.Size())/float64(w.Count()),
 		float64(prog.FootprintBytes)/1024)
+}
+
+// importChampSim converts a ChampSim trace into ENTRACE1, streaming
+// record by record so arbitrarily large inputs convert in constant
+// memory. A malformed or over-limit input removes the partial output —
+// a truncated trace must not masquerade as a complete one.
+func importChampSim(src, out string, gz, synthData bool, maxInstrs uint64) error {
+	var in io.Reader = os.Stdin
+	if src != "-" {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	cr, err := trace.NewChampSimReader(in, trace.ChampSimOptions{
+		SynthesizeData: synthData,
+		Limits:         trace.Limits{MaxInstrs: maxInstrs},
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, gz)
+	if err != nil {
+		return err
+	}
+	var rec trace.Instruction
+	for cr.Next(&rec) {
+		if err := w.Write(&rec); err != nil {
+			f.Close()
+			os.Remove(out)
+			return err
+		}
+	}
+	if err := cr.Err(); err != nil {
+		f.Close()
+		os.Remove(out)
+		return fmt.Errorf("%w (removed partial %s)", err, out)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if w.Count() == 0 {
+		f.Close()
+		os.Remove(out)
+		return fmt.Errorf("%s contains no records (removed empty %s)", src, out)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("imported %d instructions from %s to %s (%d bytes, %.2f bytes/instr)\n",
+		w.Count(), src, out, st.Size(), float64(st.Size())/float64(w.Count()))
+	return nil
 }
 
 func inspectTrace(path string, head int) error {

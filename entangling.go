@@ -92,11 +92,14 @@ type (
 
 // Workload categories.
 const (
-	Crypto = workload.Crypto
-	Int    = workload.Int
-	FP     = workload.FP
-	Srv    = workload.Srv
-	Cloud  = workload.Cloud
+	Crypto     = workload.Crypto
+	Int        = workload.Int
+	FP         = workload.FP
+	Srv        = workload.Srv
+	Cloud      = workload.Cloud
+	JIT        = workload.JIT
+	Micro      = workload.Micro
+	Serverless = workload.Serverless
 )
 
 // RegisterPrefetcher adds a named prefetcher configuration to the
@@ -117,6 +120,11 @@ func Workloads(perCategory int) []WorkloadSpec { return workload.CVPSuite(perCat
 // CloudWorkloads returns the four CloudSuite-like workloads of
 // Figure 16.
 func CloudWorkloads() []WorkloadSpec { return workload.CloudSuite() }
+
+// AdversarialWorkloads returns the stress-test suite: JIT-style code
+// relocation, interrupt-heavy microservice fan-out, and serverless
+// cold-start restarts — shapes built to punish instruction prefetchers.
+func AdversarialWorkloads() []WorkloadSpec { return workload.AdversarialSuite() }
 
 // WorkloadPreset returns the base parameters of a category; Vary
 // derives seeded variants.

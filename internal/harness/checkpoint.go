@@ -35,7 +35,11 @@ import (
 //	2: cpu.Results gained the windowed lead-histogram quantiles
 //	   (LeadP50/LeadP99); v1 records would silently resume with the
 //	   fields zeroed, so they re-run instead.
-const CheckpointSchemaVersion = 2
+//	3: workload.Params gained the adversarial-preset and trace-backed
+//	   fields (CodePhaseLen, InterruptEvery, ColdEvery, TraceSHA256,
+//	   ...), which participate in every cell fingerprint; v2 records
+//	   hash a different parameter document, so they re-run.
+const CheckpointSchemaVersion = 3
 
 // checkpointMagic leads every record's header line.
 const checkpointMagic = "ENTCKPT"

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"entangling/internal/trace"
+	"entangling/internal/workload"
+)
+
+// This file is the import-pipeline golden battery: a deterministic
+// ChampSim fixture flows through the importer, the content-addressed
+// store and a trace-backed Spec into the full sweep machinery, and the
+// exported metrics must be byte-identical run over run — the same
+// determinism claim TestGoldenDeterminism makes for synthetic
+// workloads, extended to ingested traces.
+
+// champsimFixture synthesizes n raw ChampSim records: sequential runs
+// broken by conditional branches, call/return pairs and loads, using
+// ChampSim's register conventions (SP=6, FLAGS=25, IP=26) so the
+// importer's classifier sees realistic operand sets. Deterministic by
+// construction.
+func champsimFixture(n int) []byte {
+	const (
+		regSP, regFlags, regIP = 6, 25, 26
+		recSize                = 64
+	)
+	buf := make([]byte, 0, n*recSize)
+	ip := uint64(0x0040_1000)
+	var retStack []uint64
+	state := uint64(0x1234_5678_9abc_def0)
+	next := func(m uint64) uint64 { // splitmix-ish deterministic stream
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return (z ^ (z >> 31)) % m
+	}
+	for i := 0; i < n; i++ {
+		var rec [recSize]byte
+		binary.LittleEndian.PutUint64(rec[0:8], ip)
+		switch {
+		case i%31 == 30 && len(retStack) < 8:
+			// Direct call: reads+writes SP and IP.
+			rec[8], rec[9] = 1, 1
+			rec[10], rec[11] = regIP, regSP
+			rec[12], rec[13] = regIP, regSP
+			retStack = append(retStack, ip+4)
+			ip = 0x0041_0000 + next(64)*0x200
+		case i%31 == 17 && len(retStack) > 0:
+			// Return: reads SP, writes SP and IP.
+			rec[8], rec[9] = 1, 1
+			rec[10], rec[11] = regIP, regSP
+			rec[12] = regSP
+			ip, retStack = retStack[len(retStack)-1], retStack[:len(retStack)-1]
+		case i%7 == 3:
+			// Conditional branch, taken about half the time.
+			rec[8] = 1
+			rec[10] = regIP
+			rec[12] = regFlags
+			if next(2) == 0 {
+				rec[9] = 1
+				ip += 4 + next(16)*4
+			} else {
+				ip += 4
+			}
+		default:
+			if i%5 == 1 { // load
+				binary.LittleEndian.PutUint64(rec[32:40], 0x7f00_0000+next(1<<16)*8)
+			}
+			ip += 4
+		}
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// importFixture runs the fixture through the store (importer included)
+// and returns the trace-backed spec referencing it.
+func importFixture(t *testing.T, n int) (workload.Spec, trace.TraceInfo) {
+	t.Helper()
+	store, err := trace.OpenStore(filepath.Join(t.TempDir(), "traces"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := store.Put(bytes.NewReader(champsimFixture(n)), "champsim", trace.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Instructions != uint64(n) {
+		t.Fatalf("imported %d instructions, want %d", info.Instructions, n)
+	}
+	spec := workload.TraceSpec("trace:"+info.ID, info.ID, func() (io.ReadCloser, error) {
+		return store.Open(info.ID)
+	})
+	return spec, info
+}
+
+// TestImportedTraceGoldenFingerprint: import → store → sweep must be
+// deterministic end to end. Two imports of the same fixture land on one
+// content address, and two sweeps over the stored trace export
+// byte-identical metrics.
+func TestImportedTraceGoldenFingerprint(t *testing.T) {
+	const n = 60_000
+	spec, info := importFixture(t, n)
+
+	// A second import of the same fixture is the same content address:
+	// the conversion itself is deterministic.
+	_, info2 := importFixture(t, n)
+	if info.ID != info2.ID {
+		t.Fatalf("same fixture imported to different IDs:\n%s\n%s", info.ID, info2.ID)
+	}
+
+	cfgs := []Configuration{
+		Baseline,
+		{Name: "entangling-2k", Prefetcher: "entangling-2k"},
+	}
+	opt := Options{Warmup: 30_000, Measure: 25_000, Parallelism: 2}
+	run := func() []byte {
+		s, err := RunSuite([]workload.Spec{spec}, cfgs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMetricsJSON(&buf, s.Metrics()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("imported-trace sweep metrics not reproducible")
+	}
+}
+
+// TestImportedTraceCellFingerprintPinsContent: the trace's content
+// address participates in the cell fingerprint, so two different traces
+// under the same workload name must not share checkpoint identity.
+func TestImportedTraceCellFingerprintPinsContent(t *testing.T) {
+	mk := func(sha string) workload.Spec {
+		return workload.TraceSpec("trace:same-name", sha, nil)
+	}
+	cfg := Baseline
+	a := CellFingerprint(cfg, mk("aaaa"), 1000, 1000)
+	b := CellFingerprint(cfg, mk("bbbb"), 1000, 1000)
+	if a == b {
+		t.Fatal("cell fingerprint ignores the trace content address")
+	}
+	if a != CellFingerprint(cfg, mk("aaaa"), 1000, 1000) {
+		t.Fatal("cell fingerprint not deterministic for trace-backed specs")
+	}
+}
+
+// TestAdversarialSuitePermutationInvariance extends the metamorphic
+// battery to the adversarial presets: relocation, interrupts and cold
+// restarts all run inside the per-cell simulation, so cell results must
+// still be independent of sweep order and worker count.
+func TestAdversarialSuitePermutationInvariance(t *testing.T) {
+	specs := workload.AdversarialSuite()
+	cfgs := []Configuration{
+		Baseline,
+		{Name: "entangling-2k", Prefetcher: "entangling-2k"},
+	}
+	opt := Options{Warmup: 50_000, Measure: 30_000, Parallelism: 2}
+
+	ref, err := RunSuite(specs, cfgs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []struct {
+		name  string
+		specs []workload.Spec
+		par   int
+	}{
+		{"reversed", reverse(specs), 2},
+		{"serial", specs, 1},
+		{"wide", specs, 8},
+	} {
+		o := opt
+		o.Parallelism = v.par
+		got, err := RunSuite(v.specs, cfgs, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cfgs {
+			for _, s := range specs {
+				if !reflect.DeepEqual(got.Runs[c.Name][s.Name], ref.Runs[c.Name][s.Name]) {
+					t.Errorf("cell %s/%s changed under %s", c.Name, s.Name, v.name)
+				}
+			}
+		}
+	}
+}

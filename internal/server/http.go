@@ -46,6 +46,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceStat)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -54,13 +57,13 @@ func (s *Server) Handler() http.Handler {
 // submitResponse is the POST /v1/jobs body: the job identity plus
 // resource links, so clients need no URL templating.
 type submitResponse struct {
-	ID       string `json:"id"`
-	State    string `json:"state"`
-	Deduped  bool   `json:"deduped"`
-	Cells    int    `json:"cells"`
-	Status   string `json:"status_url"`
-	Events   string `json:"events_url"`
-	Result   string `json:"result_url"`
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Deduped bool   `json:"deduped"`
+	Cells   int    `json:"cells"`
+	Status  string `json:"status_url"`
+	Events  string `json:"events_url"`
+	Result  string `json:"result_url"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -76,7 +79,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	spec, err := s.reg.resolve(req, s.cfg.Budget, s.cfg.MaxCells, s.cfg.AllowFaults)
+	spec, err := s.reg.resolve(req, s.cfg.Budget, s.cfg.MaxCells, s.cfg.AllowFaults, s.resolveTraceWorkload)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -256,6 +259,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("entangling_cells_fleet_total", "Cells resolved by a fleet worker (coordinator mode).", ld(&c.cellsFleet))
 	counter("entangling_cells_stolen_total", "Fleet cells won by a non-primary worker (steal or failover).", ld(&c.cellsStolen))
 	counter("entangling_cells_failed_total", "Cells that produced a typed failure.", ld(&c.cellsFailed))
+
+	counter("entangling_traces_uploaded_total", "Traces ingested via POST /v1/traces.", ld(&c.tracesUploaded))
+	counter("entangling_traces_deduped_total", "Trace uploads answered by existing content.", ld(&c.tracesDeduped))
+	counter("entangling_traces_rejected_total", "Trace uploads rejected (malformed or over budget).", ld(&c.tracesRejected))
 
 	builds, hits, resident := s.traces.CacheStats()
 	counter("entangling_trace_builds_total", "Workload trace materializations performed.", builds)

@@ -61,11 +61,11 @@ type FailedCell struct {
 
 // StatusDoc is the GET /v1/jobs/{id} body.
 type StatusDoc struct {
-	ID     string     `json:"id"`
-	State  string     `json:"state"`
-	Cells  CellCounts `json:"cells"`
-	Warmup uint64     `json:"warmup"`
-	Measure uint64    `json:"measure"`
+	ID      string     `json:"id"`
+	State   string     `json:"state"`
+	Cells   CellCounts `json:"cells"`
+	Warmup  uint64     `json:"warmup"`
+	Measure uint64     `json:"measure"`
 }
 
 // ResultDoc is the GET /v1/jobs/{id}/result body: the counts, the

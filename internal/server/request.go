@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"entangling/internal/faultinject"
 	"entangling/internal/harness"
@@ -65,7 +66,7 @@ type registries struct {
 
 // newRegistries builds the lookup tables: every known configuration,
 // and the CVP suite (perCategory workloads per category) plus the
-// CloudSuite workloads.
+// CloudSuite and adversarial workloads.
 func newRegistries(perCategory int) *registries {
 	r := &registries{
 		cfgs:  make(map[string]harness.Configuration),
@@ -80,8 +81,21 @@ func newRegistries(perCategory int) *registries {
 	for _, s := range workload.CloudSuite() {
 		r.specs[s.Name] = s
 	}
+	for _, s := range workload.AdversarialSuite() {
+		r.specs[s.Name] = s
+	}
 	return r
 }
+
+// traceWorkloadPrefix marks workload names that reference an uploaded
+// trace by content address instead of a registry preset.
+const traceWorkloadPrefix = "trace:"
+
+// traceResolver looks an uploaded trace up by the "trace:<id>" name a
+// job spec used, returning its executable Spec. traceLen is the stream
+// length the job's cells will consume, so the resolver can reject
+// windows longer than the stored trace up front.
+type traceResolver func(name string, traceLen uint64) (workload.Spec, error)
 
 // parseJobRequest decodes and structurally validates a submission
 // body. Unknown fields are rejected (a typoed field must not silently
@@ -103,7 +117,8 @@ func parseJobRequest(r io.Reader) (JobRequest, error) {
 
 // resolve validates the request against the registries, the cell
 // budget and the fault policy, and returns the executable jobSpec.
-func (r *registries) resolve(req JobRequest, budget workload.Budget, maxCells int, allowFaults bool) (*jobSpec, error) {
+// traces resolves "trace:<id>" workload names (nil rejects them).
+func (r *registries) resolve(req JobRequest, budget workload.Budget, maxCells int, allowFaults bool, traces traceResolver) (*jobSpec, error) {
 	if len(req.Configurations) == 0 {
 		return nil, fmt.Errorf("job request: no configurations")
 	}
@@ -141,9 +156,20 @@ func (r *registries) resolve(req JobRequest, budget workload.Budget, maxCells in
 			return nil, fmt.Errorf("job request: duplicate workload %q", name)
 		}
 		seenWl[name] = true
-		s, ok := r.specs[name]
-		if !ok {
-			return nil, fmt.Errorf("job request: unknown workload %q", name)
+		var s workload.Spec
+		if strings.HasPrefix(name, traceWorkloadPrefix) {
+			if traces == nil {
+				return nil, fmt.Errorf("job request: workload %q: trace workloads are not available on this server", name)
+			}
+			var err error
+			if s, err = traces(name, js.traceLen()); err != nil {
+				return nil, fmt.Errorf("job request: %w", err)
+			}
+		} else {
+			var ok bool
+			if s, ok = r.specs[name]; !ok {
+				return nil, fmt.Errorf("job request: unknown workload %q", name)
+			}
 		}
 		if err := budget.Check(s, js.traceLen()); err != nil {
 			return nil, fmt.Errorf("job request: %w", err)

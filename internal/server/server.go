@@ -14,11 +14,13 @@ package server
 import (
 	"fmt"
 	"log"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"entangling/internal/harness"
+	"entangling/internal/trace"
 	"entangling/internal/workload"
 )
 
@@ -55,6 +57,14 @@ type Config struct {
 	// serves warm restarts; empty disables durability. Ignored when
 	// Dispatcher is set — an external dispatcher owns its own tiers.
 	CheckpointDir string
+
+	// TraceDir, when set, stores uploaded traces (content-addressed,
+	// next to the checkpoints); empty defaults to CheckpointDir/traces
+	// when CheckpointDir is set, else trace upload is disabled (POST
+	// /v1/traces answers 503).
+	TraceDir string
+	// MaxTraceBytes caps one trace upload body (default 128 MiB).
+	MaxTraceBytes int64
 
 	// Dispatcher, when set, resolves cells instead of the built-in
 	// in-process pool — this is how coordinator mode plugs the fleet
@@ -104,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if (c.Budget == workload.Budget{}) {
 		c.Budget = workload.DefaultBudget()
 	}
+	if c.TraceDir == "" && c.CheckpointDir != "" {
+		c.TraceDir = filepath.Join(c.CheckpointDir, "traces")
+	}
+	if c.MaxTraceBytes <= 0 {
+		c.MaxTraceBytes = 128 << 20
+	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 10 * time.Second
 	}
@@ -131,6 +147,10 @@ type counters struct {
 	cellsFleet       uint64
 	cellsStolen      uint64
 	cellsFailed      uint64
+
+	tracesUploaded uint64
+	tracesDeduped  uint64
+	tracesRejected uint64
 }
 
 func (c *counters) inc(f *uint64) { atomic.AddUint64(f, 1) }
@@ -142,6 +162,7 @@ type Server struct {
 	reg      *registries
 	traces   *workload.TraceCache
 	store    *harness.CheckpointStore
+	tstore   *trace.Store // uploaded traces; nil when TraceDir unset
 	dispatch Dispatcher
 	stats    counters
 
@@ -174,6 +195,13 @@ func New(cfg Config) (*Server, error) {
 		draining: make(chan struct{}),
 		drained:  make(chan struct{}),
 		jobs:     make(map[string]*job),
+	}
+	if cfg.TraceDir != "" {
+		tstore, err := trace.OpenStore(cfg.TraceDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.tstore = tstore
 	}
 	if cfg.Dispatcher != nil {
 		s.dispatch = cfg.Dispatcher

@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the durable home of uploaded traces: a content-addressed
+// store of validated ENTRACE1 files, living next to the checkpoint
+// store and shared by the upload API and the job resolver. Content
+// addressing gives uploads the same identity properties checkpointed
+// cells have — the ID is the SHA-256 of the stored payload, so a
+// re-upload is a dedupe hit, and a job spec naming "trace:<id>" pins
+// the exact bytes it will simulate.
+//
+// Nothing enters the store unvalidated: Put streams the upload through
+// the hardened decoder (with the caller's Limits) while hashing, so a
+// malformed or over-budget trace is rejected before the store's
+// namespace learns its name, and a stored trace is decodable by
+// construction — it can never poison a later job.
+
+// TraceInfo describes one stored trace.
+type TraceInfo struct {
+	// ID is the SHA-256 (hex) of the stored ENTRACE1 payload.
+	ID string `json:"id"`
+	// Instructions is the validated record count.
+	Instructions uint64 `json:"instructions"`
+	// Bytes is the stored payload size.
+	Bytes int64 `json:"bytes"`
+	// Format records what the upload arrived as ("entrace1" or
+	// "champsim"); the stored payload is always ENTRACE1.
+	Format string `json:"format"`
+}
+
+// Store is a content-addressed directory of validated traces. Safe
+// for concurrent use.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// OpenStore opens (creating if needed) a trace store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: opening store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) tracePath(id string) string { return filepath.Join(s.dir, id+".trace") }
+func (s *Store) metaPath(id string) string  { return filepath.Join(s.dir, id+".json") }
+
+// validID gates every ID used in a path: exactly a lowercase SHA-256
+// hex string, so a hostile ID cannot traverse out of the store.
+func validID(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrUnknownTrace is returned by Open/Stat for IDs not in the store.
+var ErrUnknownTrace = errors.New("trace: unknown trace id")
+
+// Put ingests one trace from r, validating every record during the
+// streaming decode (enforcing lim mid-stream) and storing the
+// canonical ENTRACE1 payload under its content address. format selects
+// the input decoder: "" or "entrace1" stores the (uncompressed,
+// re-encoded) upload as-is semantically; "champsim" converts first.
+// Re-uploading existing content is an idempotent dedupe hit, reported
+// via the second return.
+func (s *Store) Put(r io.Reader, format string, lim Limits) (TraceInfo, bool, error) {
+	tmp, err := os.CreateTemp(s.dir, "ingest-*.tmp")
+	if err != nil {
+		return TraceInfo{}, false, fmt.Errorf("trace: staging upload: %w", err)
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}()
+
+	// The payload is re-encoded through Writer in both paths, so the
+	// stored bytes are canonical (uncompressed, minimal deltas) and
+	// the content address is independent of the upload's compression.
+	h := sha256.New()
+	out := io.MultiWriter(tmp, h)
+
+	var count uint64
+	switch format {
+	case "champsim":
+		count, err = ConvertChampSim(out, r, ChampSimOptions{Limits: lim})
+		if err != nil {
+			return TraceInfo{}, false, err
+		}
+	case "", "entrace1":
+		count, err = reencode(out, r, lim)
+		if err != nil {
+			return TraceInfo{}, false, err
+		}
+	default:
+		return TraceInfo{}, false, fmt.Errorf("trace: unknown upload format %q", format)
+	}
+
+	if err := tmp.Sync(); err != nil {
+		return TraceInfo{}, false, fmt.Errorf("trace: staging upload: %w", err)
+	}
+	size, err := tmp.Seek(0, io.SeekEnd)
+	if err != nil {
+		return TraceInfo{}, false, fmt.Errorf("trace: staging upload: %w", err)
+	}
+	info := TraceInfo{
+		ID:           hex.EncodeToString(h.Sum(nil)),
+		Instructions: count,
+		Bytes:        size,
+		Format:       format,
+	}
+	if info.Format == "" {
+		info.Format = "entrace1"
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, err := s.statLocked(info.ID); err == nil {
+		return existing, true, nil // dedupe: identical content already stored
+	}
+	if err := tmp.Close(); err != nil {
+		return TraceInfo{}, false, fmt.Errorf("trace: staging upload: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.tracePath(info.ID)); err != nil {
+		return TraceInfo{}, false, fmt.Errorf("trace: storing upload: %w", err)
+	}
+	if err := s.writeMetaLocked(info); err != nil {
+		os.Remove(s.tracePath(info.ID))
+		return TraceInfo{}, false, err
+	}
+	return info, false, nil
+}
+
+// reencode validates an ENTRACE1 upload record by record (under lim)
+// and writes the canonical uncompressed encoding to dst.
+func reencode(dst io.Writer, src io.Reader, lim Limits) (uint64, error) {
+	rd, err := NewReaderLimited(src, lim)
+	if err != nil {
+		return 0, err
+	}
+	w, err := NewWriter(dst, false)
+	if err != nil {
+		return 0, err
+	}
+	var in Instruction
+	for rd.Next(&in) {
+		if err := w.Write(&in); err != nil {
+			return w.Count(), err
+		}
+	}
+	if err := rd.Err(); err != nil {
+		return w.Count(), err
+	}
+	if err := w.Close(); err != nil {
+		return w.Count(), err
+	}
+	if w.Count() == 0 {
+		return 0, errors.New("trace: upload contains no records")
+	}
+	return w.Count(), nil
+}
+
+// writeMetaLocked persists the sidecar metadata document atomically.
+func (s *Store) writeMetaLocked(info TraceInfo) error {
+	b, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace: encoding metadata: %w", err)
+	}
+	tmp := s.metaPath(info.ID) + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("trace: writing metadata: %w", err)
+	}
+	if err := os.Rename(tmp, s.metaPath(info.ID)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: writing metadata: %w", err)
+	}
+	return nil
+}
+
+// Stat returns the metadata of a stored trace.
+func (s *Store) Stat(id string) (TraceInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statLocked(id)
+}
+
+func (s *Store) statLocked(id string) (TraceInfo, error) {
+	if !validID(id) {
+		return TraceInfo{}, fmt.Errorf("trace: id %q: %w", id, ErrUnknownTrace)
+	}
+	b, err := os.ReadFile(s.metaPath(id))
+	if err != nil {
+		return TraceInfo{}, fmt.Errorf("trace: id %q: %w", id, ErrUnknownTrace)
+	}
+	var info TraceInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		return TraceInfo{}, fmt.Errorf("trace: id %q: corrupt metadata: %v", id, err)
+	}
+	return info, nil
+}
+
+// Open returns the stored ENTRACE1 payload for reading.
+func (s *Store) Open(id string) (io.ReadCloser, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("trace: id %q: %w", id, ErrUnknownTrace)
+	}
+	f, err := os.Open(s.tracePath(id))
+	if err != nil {
+		return nil, fmt.Errorf("trace: id %q: %w", id, ErrUnknownTrace)
+	}
+	return f, nil
+}
+
+// List returns the metadata of every stored trace, ordered by ID.
+func (s *Store) List() ([]TraceInfo, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: listing store: %w", err)
+	}
+	var out []TraceInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if !validID(id) {
+			continue
+		}
+		info, err := s.Stat(id)
+		if err != nil {
+			continue // half-written entry; skip rather than fail the listing
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

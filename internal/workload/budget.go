@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"entangling/internal/trace"
+)
 
 // This file bounds what a workload request may cost. The batch CLIs
 // only run curated suites, but the job server (internal/server)
@@ -50,6 +54,11 @@ func (b Budget) Check(spec Spec, traceLen uint64) error {
 		return fmt.Errorf("workload %s: trace of %d instructions exceeds budget %d",
 			spec.Name, traceLen, b.MaxTraceInstrs)
 	}
+	if spec.TraceBacked() {
+		// Ingested traces have no program shape; the stream-length cap
+		// above (and the decode-time Limits at ingest) are the budget.
+		return nil
+	}
 	static := uint64(p.Functions) * uint64(p.MeanBlocks) * uint64(p.MeanBlockInstrs)
 	if b.MaxStaticInstrs > 0 && static > b.MaxStaticInstrs {
 		return fmt.Errorf("workload %s: ~%d static instructions exceed budget %d",
@@ -64,4 +73,14 @@ func (b Budget) Check(spec Spec, traceLen uint64) error {
 			spec.Name, p.MaxCallDepth, b.MaxCallDepth)
 	}
 	return nil
+}
+
+// DecodeLimits translates the budget into the streaming-decode caps a
+// trace ingest must run under: the instruction cap is the budget's
+// stream-length cap, the byte cap is supplied by the transport (which
+// knows its own body limit). This is the satellite fix for budgets
+// that used to run only after full materialization — the decoder now
+// enforces them record by record.
+func (b Budget) DecodeLimits(maxBytes uint64) trace.Limits {
+	return trace.Limits{MaxInstrs: b.MaxTraceInstrs, MaxBytes: maxBytes}
 }

@@ -31,6 +31,26 @@ const (
 	FP     Category = "fp"
 	Srv    Category = "srv"
 	Cloud  Category = "cloud"
+
+	// JIT models a managed-runtime process whose code layout is not
+	// stable: a tier-up compiler periodically recompiles (and moves) a
+	// fraction of the hot functions, so learned PC-indexed state keeps
+	// pointing at dead addresses.
+	JIT Category = "jit"
+	// Micro models a microservice under interrupt pressure: a srv-like
+	// request mix punctuated by asynchronous excursions into handler
+	// code that evict the front-end working set at unpredictable
+	// points.
+	Micro Category = "micro"
+	// Serverless models function-as-a-service cold starts: every N
+	// instructions the process restarts at a fresh code mapping, so the
+	// L1I and BTB start cold again (the motivation PAPERS.md cites for
+	// cold-start-dominated fleets).
+	Serverless Category = "serverless"
+
+	// TraceCat marks trace-backed workloads (ingested real traces, not
+	// synthesized programs). It has no Preset.
+	TraceCat Category = "trace"
 )
 
 // Params fully determines a synthetic workload (together with Seed).
@@ -111,10 +131,51 @@ type Params struct {
 	// random (data-dependent branches), keeping predictors and
 	// prefetchers below perfect.
 	PathNoise float64
+
+	// CodePhaseLen, when non-zero, relocates a random CodeRelocFrac of
+	// the functions to fresh addresses every CodePhaseLen dynamic
+	// instructions — a JIT tier-up that recompiles hot code elsewhere.
+	// Entangled pairs and BTB entries learned at the old addresses
+	// never hit again.
+	CodePhaseLen uint64
+	// CodeRelocFrac is the fraction of functions moved per code phase
+	// (in [0,1]; meaningful only with CodePhaseLen > 0).
+	CodeRelocFrac float64
+
+	// InterruptEvery, when non-zero, diverts the walk roughly every
+	// InterruptEvery instructions into one of the last InterruptFns
+	// functions (the "interrupt handlers"), returning to the
+	// interrupted instruction afterwards — asynchronous excursions at
+	// points no history-based predictor can correlate with the
+	// interrupted code.
+	InterruptEvery uint64
+	// InterruptFns is how many trailing functions serve as interrupt
+	// handlers (>= 1 when InterruptEvery > 0; must leave at least the
+	// driver plus one callee outside the handler set).
+	InterruptFns int
+
+	// ColdEvery, when non-zero, restarts the walk every ColdEvery
+	// instructions at the driver entry inside a fresh code mapping
+	// (every address shifted to a new epoch base): a serverless cold
+	// start, where the L1I, BTB and prefetcher state warm from zero.
+	ColdEvery uint64
+
+	// TraceSHA256, when non-empty, marks a trace-backed workload: the
+	// stream comes from an ingested trace with this content address,
+	// not from a synthesized program, and every program-shape field
+	// above is ignored. It feeds the workload's identity (warmup
+	// classes, cell fingerprints) the same way program parameters do
+	// for synthetic workloads.
+	TraceSHA256 string
 }
 
 // Validate reports the first structural problem with p, or nil.
 func (p *Params) Validate() error {
+	if p.TraceSHA256 != "" {
+		// Trace-backed: the stream is stored bytes, already validated
+		// at ingest; there is no program shape to check.
+		return nil
+	}
 	switch {
 	case p.Functions < 1:
 		return fmt.Errorf("workload %s: Functions must be >= 1", p.Name)
@@ -134,6 +195,15 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("workload %s: PathFlavors must be >= 1", p.Name)
 	case p.PathNoise < 0 || p.PathNoise > 1:
 		return fmt.Errorf("workload %s: PathNoise must be in [0,1]", p.Name)
+	case p.CodeRelocFrac < 0 || p.CodeRelocFrac > 1:
+		return fmt.Errorf("workload %s: CodeRelocFrac must be in [0,1]", p.Name)
+	case p.InterruptEvery > 0 && p.InterruptFns < 1:
+		return fmt.Errorf("workload %s: InterruptEvery needs InterruptFns >= 1", p.Name)
+	case p.InterruptEvery > 0 && p.InterruptFns > p.Functions-2:
+		return fmt.Errorf("workload %s: InterruptFns %d leaves fewer than 2 non-handler functions",
+			p.Name, p.InterruptFns)
+	case p.InterruptEvery == 0 && p.InterruptFns != 0:
+		return fmt.Errorf("workload %s: InterruptFns without InterruptEvery", p.Name)
 	}
 	return nil
 }
@@ -190,6 +260,51 @@ func Preset(c Category) Params {
 			LoadFrac: 0.28, StoreFrac: 0.14, DataFootprint: 1 << 22,
 			DriverFanout: 900, DispatchSkew: 1.6, PathFlavors: 8, PathNoise: 0.05,
 			PhaseLen: 400_000,
+		}
+	case JIT:
+		// An int-like core whose layout churns: roughly a third of the
+		// functions move every code phase, so the prefetcher relearns a
+		// moving target. Phases are a few hundred k instructions — long
+		// enough to warm entangled pairs, short enough that staleness
+		// dominates steady state.
+		return Params{
+			Category: JIT, Functions: 800, MeanBlocks: 7, MeanBlockInstrs: 8,
+			CallFrac: 0.13, IndirectFrac: 0.03, JumpFrac: 0.08, CondFrac: 0.48,
+			LoopBackProb: 0.28, LoopIterMean: 9, CondTakenBias: 0.40,
+			CallSkew: 1.5, MaxCallDepth: 32,
+			LoadFrac: 0.25, StoreFrac: 0.12, DataFootprint: 1 << 21,
+			DriverFanout: 350, DispatchSkew: 1.8, PathFlavors: 4, PathNoise: 0.04,
+			CodePhaseLen: 250_000, CodeRelocFrac: 0.35,
+		}
+	case Micro:
+		// A srv-like request mix with interrupt-heavy excursions: every
+		// few thousand instructions an asynchronous handler hijacks the
+		// front end mid-request, then control returns to the exact
+		// interrupted instruction. The handlers are a small, hot set —
+		// they stay cached, but the excursion points are uncorrelated
+		// with the interrupted code.
+		return Params{
+			Category: Micro, Functions: 1400, MeanBlocks: 8, MeanBlockInstrs: 7,
+			CallFrac: 0.10, IndirectFrac: 0.04, JumpFrac: 0.08, CondFrac: 0.45,
+			LoopBackProb: 0.22, LoopIterMean: 8, CondTakenBias: 0.45,
+			CallSkew: 1.2, MaxCallDepth: 40,
+			LoadFrac: 0.28, StoreFrac: 0.14, DataFootprint: 1 << 22,
+			DriverFanout: 380, DispatchSkew: 2.0, PathFlavors: 4, PathNoise: 0.03,
+			InterruptEvery: 4_000, InterruptFns: 24,
+		}
+	case Serverless:
+		// Function-as-a-service churn: every cold interval the process
+		// restarts at a fresh code mapping, so the L1I and BTB warm
+		// from zero. Moderate footprint (FaaS functions are small), but
+		// nothing learned in one epoch transfers to the next.
+		return Params{
+			Category: Serverless, Functions: 600, MeanBlocks: 7, MeanBlockInstrs: 8,
+			CallFrac: 0.12, IndirectFrac: 0.03, JumpFrac: 0.08, CondFrac: 0.46,
+			LoopBackProb: 0.25, LoopIterMean: 8, CondTakenBias: 0.42,
+			CallSkew: 1.4, MaxCallDepth: 28,
+			LoadFrac: 0.26, StoreFrac: 0.12, DataFootprint: 1 << 20,
+			DriverFanout: 250, DispatchSkew: 1.8, PathFlavors: 4, PathNoise: 0.03,
+			ColdEvery: 300_000,
 		}
 	default:
 		panic(fmt.Sprintf("workload: unknown category %q", c))

@@ -1,15 +1,50 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+)
 
 // Spec names a workload and carries its fully derived parameters.
 type Spec struct {
 	Name   string
 	Params Params
+
+	// Open, when non-nil, streams the stored ENTRACE1 payload of a
+	// trace-backed workload (Params.TraceSHA256 non-empty). It is
+	// excluded from JSON deliberately: fleet assignments marshal Specs
+	// over the wire, and trace content only exists on the node that
+	// stores it — trace-backed cells are gated to local dispatch.
+	Open TraceOpener `json:"-"`
+}
+
+// TraceOpener returns a fresh reader over a stored trace payload.
+type TraceOpener func() (io.ReadCloser, error)
+
+// TraceBacked reports whether the spec replays an ingested trace
+// rather than walking a synthesized program.
+func (s Spec) TraceBacked() bool { return s.Params.TraceSHA256 != "" }
+
+// TraceSpec builds the Spec for an ingested trace: the content address
+// is the workload's entire identity (it feeds warmup classes and cell
+// fingerprints through Params), and open streams the stored payload.
+func TraceSpec(name, sha256hex string, open TraceOpener) Spec {
+	return Spec{
+		Name: name,
+		Params: Params{
+			Name:        name,
+			Category:    TraceCat,
+			TraceSHA256: sha256hex,
+		},
+		Open: open,
+	}
 }
 
 // New builds the program and walker for a spec.
 func (s Spec) New() (*Walker, error) {
+	if s.TraceBacked() {
+		return nil, fmt.Errorf("workload %s: trace-backed specs have no program to walk; materialize via a TraceCache", s.Name)
+	}
 	prog, err := BuildProgram(s.Params)
 	if err != nil {
 		return nil, err
@@ -83,4 +118,24 @@ func CloudSuite() []Spec {
 		specs[i].Params.Category = Cloud
 	}
 	return specs
+}
+
+// AdversarialSuite returns the three adversarial presets: workloads
+// built to violate the stability assumptions history-based instruction
+// prefetchers rely on. jit-phases relocates hot code under the
+// prefetcher; micro-burst interleaves requests with asynchronous
+// interrupt excursions; serverless-cold restarts at a fresh code
+// mapping every epoch so nothing learned ever amortizes.
+func AdversarialSuite() []Spec {
+	mk := func(c Category, name string, seed uint64) Spec {
+		p := Preset(c)
+		p.Name = name
+		p.Seed = seed
+		return Spec{Name: name, Params: p}
+	}
+	return []Spec{
+		mk(JIT, "jit-phases", 0x317AB1E),
+		mk(Micro, "micro-burst", 0x51CE7),
+		mk(Serverless, "serverless-cold", 0xC01D57A7),
+	}
 }

@@ -57,6 +57,9 @@ func (t *Trace) SourceAt(n uint64) trace.Source {
 // sharing one materialization across configurations behaviour-
 // preserving.
 func Materialize(spec Spec, n uint64) (*Trace, error) {
+	if spec.TraceBacked() {
+		return materializeTrace(spec, n)
+	}
 	w, err := spec.New()
 	if err != nil {
 		return nil, err
@@ -69,6 +72,44 @@ func Materialize(spec Spec, n uint64) (*Trace, error) {
 		}
 	}
 	return &Trace{Name: spec.Name, Instrs: instrs}, nil
+}
+
+// materializeTrace decodes the first n instructions of a trace-backed
+// spec's stored payload. The decode is capped at n records, so a
+// too-long stored trace costs nothing beyond the requested window; a
+// decode error (the store only holds validated traces, but the opener
+// is caller-supplied) fails the materialization rather than feeding a
+// short stream to the simulator silently.
+func materializeTrace(spec Spec, n uint64) (*Trace, error) {
+	if spec.Open == nil {
+		return nil, fmt.Errorf("workload %s: trace %s is not available on this node (no opener)",
+			spec.Name, spec.Params.TraceSHA256)
+	}
+	rc, err := spec.Open()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: opening trace: %w", spec.Name, err)
+	}
+	defer rc.Close()
+	rd, err := trace.NewReader(rc)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", spec.Name, err)
+	}
+	instrs := make([]trace.Instruction, 0, min64(n, 1<<20))
+	var in trace.Instruction
+	for uint64(len(instrs)) < n && rd.Next(&in) {
+		instrs = append(instrs, in)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("workload %s: decoding trace: %w", spec.Name, err)
+	}
+	return &Trace{Name: spec.Name, Instrs: instrs}, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // TraceCache shares materialized traces between the runs of one or

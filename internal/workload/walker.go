@@ -35,6 +35,27 @@ type Walker struct {
 	perm        []int
 	permScratch []int
 	nextPhase   uint64
+
+	// JIT layout churn (CodePhaseLen > 0): fnOff[fi] displaces function
+	// fi from its static address; relocArena is the next free address
+	// relocated code is placed at, growing monotonically so a moved
+	// function never lands on addresses any earlier phase used.
+	fnOff      []uint64
+	relocArena uint64
+	nextReloc  uint64
+
+	// Interrupt excursions (InterruptEvery > 0): nextIntr is the count
+	// at which the next handler fires; intrAt is the stack depth of the
+	// active excursion (0 = none), preventing nested interrupts.
+	nextIntr uint64
+	intrAt   int
+
+	// Serverless cold starts (ColdEvery > 0): every restart shifts all
+	// code addresses by epochStride, so the new epoch shares no cache
+	// lines or predictor indices with any previous one.
+	epochBase   uint64
+	epochStride uint64
+	nextCold    uint64
 }
 
 type frame struct {
@@ -57,8 +78,35 @@ func NewWalker(prog *Program) *Walker {
 	if prog.Params.PhaseLen > 0 {
 		w.nextPhase = prog.Params.PhaseLen
 	}
+	if prog.Params.CodePhaseLen > 0 {
+		w.fnOff = make([]uint64, len(prog.Funcs))
+		// The relocation arena sits far above the static code region so
+		// no phase can alias addresses still reachable through it.
+		w.relocArena = CodeBase + 1<<30
+		w.nextReloc = prog.Params.CodePhaseLen
+	}
+	if prog.Params.InterruptEvery > 0 {
+		w.nextIntr = prog.Params.InterruptEvery
+	}
+	if prog.Params.ColdEvery > 0 {
+		// Epochs are spaced a 4 MiB-aligned stride past the code
+		// footprint, so consecutive mappings are disjoint at every
+		// cache and predictor granularity the model indexes by.
+		w.epochStride = (prog.FootprintBytes>>22 + 1) << 22
+		w.nextCold = prog.Params.ColdEvery
+	}
 	w.curSeed = mix64(prog.Params.Seed ^ 0xD15EA5E)
 	return w
+}
+
+// addr maps a static address of function fn to its current dynamic
+// address, applying the function's JIT relocation offset and the cold
+// epoch base. With both features off it is the identity.
+func (w *Walker) addr(fn int, a uint64) uint64 {
+	if w.fnOff != nil {
+		a += w.fnOff[fn]
+	}
+	return a + w.epochBase
 }
 
 // mix64 is splitmix64's finalizer.
@@ -98,9 +146,25 @@ func (w *Walker) Next(in *trace.Instruction) bool {
 		w.reshufflePhase()
 		w.nextPhase += p.PhaseLen
 	}
+	if w.nextCold != 0 && w.count >= w.nextCold {
+		w.coldRestart()
+		w.nextCold += p.ColdEvery
+	}
+	if w.nextReloc != 0 && w.count >= w.nextReloc {
+		w.relocate()
+		w.nextReloc += p.CodePhaseLen
+	}
+	if w.nextIntr != 0 && w.count >= w.nextIntr {
+		if w.intrAt == 0 && len(w.stack) < p.MaxCallDepth {
+			w.emitInterrupt(in)
+			return true
+		}
+		// Inside a handler or at the depth cap: retry shortly after.
+		w.nextIntr = w.count + 64
+	}
 	f := &w.prog.Funcs[w.fn]
 	b := &f.Blocks[w.blk]
-	pc := b.Addr + uint64(w.idx)*InstrSize
+	pc := w.addr(w.fn, b.Addr+uint64(w.idx)*InstrSize)
 
 	*in = trace.Instruction{PC: pc, Size: InstrSize}
 	w.count++
@@ -121,7 +185,7 @@ func (w *Walker) Next(in *trace.Instruction) bool {
 	case TermCond:
 		in.Branch = trace.CondBranch
 		target := &f.Blocks[b.TargetBlock]
-		in.Target = target.Addr
+		in.Target = w.addr(w.fn, target.Addr)
 		if w.rand01() < b.TakenBias {
 			in.Taken = true
 			w.setBlock(w.fn, b.TargetBlock)
@@ -132,7 +196,7 @@ func (w *Walker) Next(in *trace.Instruction) bool {
 	case TermJump:
 		in.Branch = trace.DirectJump
 		in.Taken = true
-		in.Target = f.Blocks[b.TargetBlock].Addr
+		in.Target = w.addr(w.fn, f.Blocks[b.TargetBlock].Addr)
 		w.setBlock(w.fn, b.TargetBlock)
 
 	case TermCall:
@@ -162,6 +226,11 @@ func (w *Walker) Next(in *trace.Instruction) bool {
 			w.stack = w.stack[:len(w.stack)-1]
 			w.fn, w.blk, w.idx = fr.fn, fr.blk, fr.idx
 			w.curSeed = fr.seed
+			if w.intrAt > len(w.stack) {
+				// The active interrupt excursion just returned; the
+				// interrupted instruction re-executes next.
+				w.intrAt = 0
+			}
 			in.Target = w.currentPC()
 		} else {
 			// Stack empty: restart the driver, as a top-level event
@@ -183,7 +252,7 @@ func (w *Walker) emitCall(in *trace.Instruction, callee int, kind trace.BranchTy
 	}
 	in.Branch = kind
 	in.Taken = true
-	in.Target = w.prog.Funcs[callee].Entry()
+	in.Target = w.addr(callee, w.prog.Funcs[callee].Entry())
 	// Return site: the block after the call, or loop the function if
 	// the call ends it.
 	retBlk, retIdx := w.blk+1, 0
@@ -207,7 +276,67 @@ func (w *Walker) emitCall(in *trace.Instruction, callee int, kind trace.BranchTy
 
 func (w *Walker) currentPC() uint64 {
 	b := &w.prog.Funcs[w.fn].Blocks[w.blk]
-	return b.Addr + uint64(w.idx)*InstrSize
+	return w.addr(w.fn, b.Addr+uint64(w.idx)*InstrSize)
+}
+
+// emitInterrupt fires an asynchronous excursion: the current
+// instruction is replaced by an indirect call into a handler function,
+// and the saved frame re-executes the interrupted instruction when the
+// handler returns — the same PC fetched twice, with an arbitrary
+// handler body in between.
+func (w *Walker) emitInterrupt(in *trace.Instruction) {
+	p := &w.prog.Params
+	handler := len(w.prog.Funcs) - p.InterruptFns + w.rng.IntN(p.InterruptFns)
+	*in = trace.Instruction{
+		PC:     w.currentPC(),
+		Size:   InstrSize,
+		Branch: trace.IndirectCall,
+		Taken:  true,
+		Target: w.addr(handler, w.prog.Funcs[handler].Entry()),
+	}
+	w.count++
+	w.stack = append(w.stack, frame{w.fn, w.blk, w.idx, w.curSeed})
+	w.intrAt = len(w.stack)
+	// Handlers run deterministically per (handler, epoch-ish) identity:
+	// the same handler does the same work every time it fires.
+	w.curSeed = mix64(uint64(handler)<<8 ^ p.Seed ^ 0xA5A5_1234)
+	w.setBlock(handler, 0)
+	w.nextIntr = w.count + p.InterruptEvery/2 + uint64(w.rng.IntN(int(p.InterruptEvery)))
+}
+
+// coldRestart begins a fresh serverless epoch: the call stack clears,
+// the walk restarts at the driver entry, and every code address moves
+// to a disjoint mapping, so the front end warms from zero.
+func (w *Walker) coldRestart() {
+	w.stack = w.stack[:0]
+	w.intrAt = 0
+	w.epochBase += w.epochStride
+	w.curSeed = mix64(w.prog.Params.Seed ^ w.epochBase)
+	w.setBlock(0, 0)
+}
+
+// relocate starts a JIT code phase: each non-driver function moves
+// with probability CodeRelocFrac to a fresh arena address. Entangled
+// pairs, BTB entries and cache lines learned at the old addresses are
+// dead weight afterwards. Functions live on the call stack stay put —
+// a JIT cannot move a frame that is executing — which also keeps the
+// emitted PC stream continuous across a relocation phase.
+func (w *Walker) relocate() {
+	p := &w.prog.Params
+	live := map[int]bool{w.fn: true}
+	for _, fr := range w.stack {
+		live[fr.fn] = true
+	}
+	for fi := 1; fi < len(w.prog.Funcs); fi++ {
+		if w.rng.Float64() >= p.CodeRelocFrac || live[fi] {
+			continue
+		}
+		f := &w.prog.Funcs[fi]
+		last := &f.Blocks[len(f.Blocks)-1]
+		span := last.Addr + uint64(last.NInstr)*InstrSize - f.Entry()
+		w.fnOff[fi] = w.relocArena - f.Entry()
+		w.relocArena = (w.relocArena + span + 63) &^ 63
+	}
 }
 
 // advanceBlock moves to block bi of the current function, returning

@@ -7,7 +7,7 @@ import (
 )
 
 func TestPresetsValidate(t *testing.T) {
-	for _, c := range []Category{Crypto, Int, FP, Srv, Cloud} {
+	for _, c := range []Category{Crypto, Int, FP, Srv, Cloud, JIT, Micro, Serverless} {
 		p := Preset(c)
 		p.Name = string(c)
 		if err := p.Validate(); err != nil {
@@ -136,7 +136,11 @@ func TestBuildProgramDeterministic(t *testing.T) {
 }
 
 func TestWalkerStreamConsistency(t *testing.T) {
-	for _, cat := range []Category{Crypto, Int, Srv} {
+	// JIT and Micro join the battery: relocation skips live frames and
+	// interrupts transfer control via calls, so their streams keep full
+	// PC continuity. Serverless is excluded here — a cold restart is a
+	// legitimate discontinuity — and has its own consistency test.
+	for _, cat := range []Category{Crypto, Int, Srv, JIT, Micro} {
 		p := Preset(cat)
 		p.Name = string(cat)
 		p.Seed = 11
