@@ -35,6 +35,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -47,10 +49,13 @@ import (
 func main() {
 	var cfg server.Config
 	var (
-		mode       = flag.String("mode", "standalone", "standalone, coordinator or worker")
-		peers      = flag.String("peers", "", "comma-separated worker base URLs (coordinator mode)")
-		workerID   = flag.String("worker-id", "", "this worker's name in results and health docs (worker mode)")
-		stealAfter = flag.Duration("steal-after", 15*time.Second, "how long the primary worker may hold a cell before it is raced to the next owner (coordinator mode)")
+		mode        = flag.String("mode", "standalone", "standalone, coordinator or worker")
+		peers       = flag.String("peers", "", "comma-separated worker base URLs (coordinator mode)")
+		workerID    = flag.String("worker-id", "", "this worker's name in results and health docs (worker mode)")
+		stealAfter  = flag.Duration("steal-after", 15*time.Second, "how long the primary worker may hold a cell before it is raced to the next owner (coordinator mode)")
+		tenantsFile = flag.String("tenants-file", "", "tenant config JSON; switches the server to authenticated multi-tenant mode with quotas and priority tiers")
+		tierWeights = flag.String("tier-weights", "", "override tier weights, e.g. gold=100,silver=10,bronze=1")
+		leakCheck   = flag.Bool("leak-check", false, "after a clean drain, fail (exit 1, stacks dumped) unless goroutines return to the startup baseline")
 	)
 	flag.StringVar(&cfg.Addr, "addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	flag.StringVar(&cfg.CheckpointDir, "checkpoint-dir", "", "persist completed cells here and serve warm restarts from it")
@@ -69,6 +74,25 @@ func main() {
 	flag.DurationVar(&cfg.DrainGrace, "drain-grace", 10*time.Second, "how long a drain waits for running jobs before canceling them")
 	flag.Parse()
 
+	if *tenantsFile != "" {
+		tc, err := server.LoadTenantsFile(*tenantsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Tenants = &tc
+	}
+	if *tierWeights != "" {
+		tw, err := parseTierWeights(*tierWeights)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.TierWeights = tw
+	}
+
+	baseline := runtime.NumGoroutine()
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -86,6 +110,58 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *leakCheck {
+		if err := auditGoroutines(baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		log.Printf("leak-check: clean (goroutines back at startup baseline)")
+	}
+}
+
+// parseTierWeights parses "gold=100,silver=10" into a weight map.
+func parseTierWeights(s string) (map[string]int, error) {
+	tw := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tier-weights: %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tier-weights: tier %q needs a positive integer weight", name)
+		}
+		tw[strings.TrimSpace(name)] = w
+	}
+	if len(tw) == 0 {
+		return nil, fmt.Errorf("-tier-weights: no tiers parsed")
+	}
+	return tw, nil
+}
+
+// auditGoroutines waits for the process to settle back to its startup
+// goroutine baseline after a drain; a stuck goroutine fails loudly
+// with full stacks. The signal-notify goroutine from NotifyContext is
+// the one expected straggler, hence baseline+1.
+func auditGoroutines(baseline int) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+1 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("leak-check: %d goroutines alive after drain (baseline %d)\n%s",
+				n, baseline, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,123 @@
+// Command loadgen replays a mixed job-submission workload against a
+// running entangling-served node and writes a versioned LOAD_*.json
+// report: admission-to-result latency percentiles, cache hit-rate,
+// dedupe counts and an error taxonomy keyed by the server's machine-
+// readable rejection reasons. CI uses it as a regression gate —
+// checked-in thresholds on p99 latency and hit-rate fail the build
+// when the server regresses.
+//
+// Examples:
+//
+//	loadgen -url http://127.0.0.1:8080 -out LOAD_dev.json
+//	loadgen -url http://127.0.0.1:8080 -plan plan.json \
+//	    -max-p99 2000 -min-hit-rate 0.30 -fail-on-transport
+//	loadgen -check LOAD_dev.json -max-p99 2000   # re-gate an old report
+//	loadgen -print-plan > plan.json              # pin the default plan
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"entangling/internal/loadgen"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "", "base URL of the node under load (required unless -check or -print-plan)")
+		planFile    = flag.String("plan", "", "plan JSON file (default: the built-in mixed plan)")
+		out         = flag.String("out", "", "write the report here (default: stdout only)")
+		check       = flag.String("check", "", "skip the replay; gate an existing report file against the thresholds")
+		printPlan   = flag.Bool("print-plan", false, "print the built-in default plan as JSON and exit")
+		seed        = flag.Uint64("seed", 0, "override the plan's seed (0 = keep)")
+		submissions = flag.Int("submissions", 0, "override the plan's submission count (0 = keep)")
+		concurrency = flag.Int("concurrency", 0, "override the plan's per-lane concurrency (0 = keep)")
+		retries     = flag.Int("retries", 2, "SDK transport-retry budget per call")
+
+		maxP99          = flag.Float64("max-p99", 0, "fail when admission-to-result p99 exceeds this (ms, 0 = unchecked)")
+		minHitRate      = flag.Float64("min-hit-rate", 0, "fail when the aggregate cell cache hit-rate falls below this (0 = unchecked)")
+		failOnTransport = flag.Bool("fail-on-transport", false, "fail when any operation died on a transport error")
+	)
+	flag.Parse()
+
+	thresholds := loadgen.Thresholds{
+		MaxE2EP99MS:     *maxP99,
+		MinCacheHitRate: *minHitRate,
+		FailOnTransport: *failOnTransport,
+	}
+
+	if *printPlan {
+		b, _ := json.MarshalIndent(loadgen.DefaultPlan(), "", "  ")
+		fmt.Println(string(b))
+		return
+	}
+
+	if *check != "" {
+		rep, err := loadgen.LoadReportFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Check(thresholds); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loadgen: %s passes all thresholds\n", *check)
+		return
+	}
+
+	if *url == "" {
+		fatal(fmt.Errorf("loadgen: -url is required (or use -check / -print-plan)"))
+	}
+
+	plan := loadgen.DefaultPlan()
+	if *planFile != "" {
+		var err error
+		if plan, err = loadgen.LoadPlanFile(*planFile); err != nil {
+			fatal(err)
+		}
+	}
+	if *seed != 0 {
+		plan.Seed = *seed
+	}
+	if *submissions > 0 {
+		plan.Submissions = *submissions
+	}
+	if *concurrency > 0 {
+		plan.Concurrency = *concurrency
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL: *url,
+		Plan:    plan,
+		Retries: *retries,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(b))
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		log.Printf("loadgen: report written to %s", *out)
+	}
+	if err := rep.Check(thresholds); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -202,6 +202,7 @@ func (c *Coordinator) runRemote(ctx context.Context, cell server.CellSpec, progr
 		Warmup:        cell.Warmup,
 		Measure:       cell.Measure,
 		Plan:          cell.Plan,
+		Tenant:        cell.Tenant,
 	}
 	owners := c.owners(cell.Fingerprint)
 

@@ -31,7 +31,14 @@ import (
 // WireSchemaVersion identifies the coordinator<->worker message
 // layout; bump it on any incompatible change. Mixed-version fleets
 // refuse each other's messages instead of misinterpreting them.
-const WireSchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial layout (PR 6).
+//	2 — Assignment gains the tenant attribution field. Decoders are
+//	    strict (unknown fields rejected), so a v1 worker cannot
+//	    silently drop the field; the bump makes the refusal explicit.
+const WireSchemaVersion = 2
 
 // MaxWireBytes caps any single wire message. Assignments and results
 // are small (one configuration, one workload's parameters, one
@@ -60,6 +67,11 @@ type Assignment struct {
 	// run; workers reject it unless started with fault injection
 	// enabled (mirrors the job server's AllowFaults gate).
 	Plan *faultinject.Plan `json:"plan,omitempty"`
+	// Tenant attributes the cell to the submitting tenant for worker
+	// logs and fleet accounting. Observability metadata only: it is
+	// deliberately excluded from fingerprint verification, so identical
+	// cells from different tenants still share one checkpoint identity.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Validate reports the first structural problem with a decoded

@@ -151,6 +151,7 @@ func (w *Worker) handleCell(rw http.ResponseWriter, r *http.Request) {
 		Measure:     asg.Measure,
 		Fingerprint: asg.Fingerprint,
 		Plan:        asg.Plan,
+		Tenant:      asg.Tenant,
 	}, progress)
 
 	mu.Lock()
@@ -182,7 +183,12 @@ func (w *Worker) handleCell(rw http.ResponseWriter, r *http.Request) {
 		res.Result = &r
 	}
 	w.completed.Add(1)
-	w.cfg.Logf("fleet worker %s: cell %s resolved (%s)", w.cfg.ID, asg.Fingerprint, out.Source)
+	if asg.Tenant != "" {
+		w.cfg.Logf("fleet worker %s: cell %s resolved (%s) for tenant %s",
+			w.cfg.ID, asg.Fingerprint, out.Source, asg.Tenant)
+	} else {
+		w.cfg.Logf("fleet worker %s: cell %s resolved (%s)", w.cfg.ID, asg.Fingerprint, out.Source)
+	}
 	w.reply(rw, http.StatusOK, res)
 }
 

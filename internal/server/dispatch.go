@@ -33,6 +33,11 @@ type CellSpec struct {
 	Measure     uint64
 	Fingerprint string
 	Plan        *faultinject.Plan
+	// Tenant attributes the cell to the submitting tenant for fleet
+	// accounting and worker logs. It is observability metadata only:
+	// it is not part of the cell's content address, so identical cells
+	// from different tenants still dedupe to one simulation.
+	Tenant string
 }
 
 // CellResult is a resolved cell: a result or a typed cell error, plus

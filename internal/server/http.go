@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -18,9 +20,12 @@ import (
 // uses Go 1.22 method+pattern ServeMux matching; everything is
 // stdlib.
 
-// errorDoc is the JSON body of every non-2xx response.
+// errorDoc is the JSON body of every non-2xx response. Reason is a
+// machine-readable rejection class (the Reason* constants) so
+// clients can build an error taxonomy without parsing prose.
 type errorDoc struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -35,7 +40,80 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...)})
+	writeErrorReason(w, status, defaultReason(status), format, args...)
+}
+
+func writeErrorReason(w http.ResponseWriter, status int, reason, format string, args ...any) {
+	writeJSON(w, status, errorDoc{Error: fmt.Sprintf(format, args...), Reason: reason})
+}
+
+// defaultReason maps a status to its generic reason; call sites with
+// a more specific class (quotas, draining) use writeErrorReason.
+func defaultReason(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return ReasonBadRequest
+	case http.StatusUnauthorized:
+		return ReasonUnauthorized
+	case http.StatusForbidden:
+		return ReasonForbidden
+	case http.StatusNotFound:
+		return ReasonNotFound
+	case http.StatusRequestEntityTooLarge:
+		return ReasonTooLarge
+	case http.StatusTooManyRequests:
+		return ReasonQueueFull
+	case http.StatusServiceUnavailable:
+		return ReasonUnavailable
+	default:
+		return ReasonInternal
+	}
+}
+
+// authenticate resolves the request's tenant. On an open server it
+// returns (nil, true) — no auth, no quotas. On a multi-tenant server
+// a missing or unknown key answers 401 and returns false; the caller
+// must stop.
+func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (*tenantState, bool) {
+	if s.tenants == nil {
+		return nil, true
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			key = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	if key == "" {
+		s.stats.inc(&s.stats.authFailures)
+		writeErrorReason(w, http.StatusUnauthorized, ReasonUnauthorized,
+			"missing API key (send Authorization: Bearer <key> or X-API-Key)")
+		return nil, false
+	}
+	st, ok := s.tenants.lookup(key)
+	if !ok {
+		s.stats.inc(&s.stats.authFailures)
+		writeErrorReason(w, http.StatusUnauthorized, ReasonUnauthorized, "unknown API key")
+		return nil, false
+	}
+	return st, true
+}
+
+// authorizeJob enforces job ownership on a multi-tenant server: only
+// a tenant that submitted (or deduped onto) the job may read or
+// cancel it. Open servers skip the check.
+func (s *Server) authorizeJob(w http.ResponseWriter, st *tenantState, j *job) bool {
+	if s.tenants == nil || st == nil {
+		return true
+	}
+	if !j.isOwner(st.t.Name) {
+		s.stats.inc(&s.stats.authForbidden)
+		st.countRejected(ReasonForbidden)
+		writeErrorReason(w, http.StatusForbidden, ReasonForbidden,
+			"tenant %q does not own job %s", st.t.Name, j.spec.id)
+		return false
+	}
+	return true
 }
 
 // Handler returns the server's HTTP API.
@@ -67,6 +145,10 @@ type submitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	req, err := parseJobRequest(body)
 	if err != nil {
@@ -79,16 +161,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.FaultPlan != nil && st != nil && !st.t.AllowFaults {
+		s.stats.inc(&s.stats.authForbidden)
+		st.countRejected(ReasonForbidden)
+		writeErrorReason(w, http.StatusForbidden, ReasonForbidden,
+			"tenant %q is not allowed to submit fault plans", st.t.Name)
+		return
+	}
 	spec, err := s.reg.resolve(req, s.cfg.Budget, s.cfg.MaxCells, s.cfg.AllowFaults, s.resolveTraceWorkload)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	j, existed, err := s.submit(spec)
+	j, existed, err := s.submit(spec, st)
+	var qerr *quotaError
 	switch {
 	case errors.Is(err, errDraining):
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeErrorReason(w, http.StatusServiceUnavailable, ReasonDraining, "server is draining")
+		return
+	case errors.As(err, &qerr):
+		retry := 1
+		if qerr.reason == ReasonQuotaCellRate {
+			retry = st.retryAfter(s.tenants.now())
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeErrorReason(w, http.StatusTooManyRequests, qerr.reason, "%s", qerr.msg)
 		return
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
@@ -120,7 +218,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // one drained queue slot per running-job completion, so the deeper
 // the backlog relative to workers, the longer the hint.
 func (s *Server) retryAfterSeconds() int {
-	backlog := len(s.queue)
+	backlog := s.queue.depth()
 	per := 2 // seconds; a guess that scales with backlog, not accuracy
 	sec := (backlog/s.cfg.Workers + 1) * per
 	if sec < 1 {
@@ -133,18 +231,32 @@ func (s *Server) retryAfterSeconds() int {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !s.authorizeJob(w, st, j) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !s.authorizeJob(w, st, j) {
 		return
 	}
 	b, state, terminal := j.resultBytes()
@@ -158,13 +270,26 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(b)
 }
 
+// handleCancel cancels a job. On a multi-tenant server a shared
+// (deduped) job is only truly canceled when its last owner lets go:
+// earlier cancels just withdraw that tenant's interest, so one tenant
+// cannot kill a sweep another tenant is still waiting on.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	s.cancelJob(j)
+	if !s.authorizeJob(w, st, j) {
+		return
+	}
+	if st == nil || j.dropOwner(st.t.Name) == 0 {
+		s.cancelJob(j)
+	}
 	writeJSON(w, http.StatusOK, j.status())
 }
 
@@ -173,9 +298,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // reconnect), then the stream follows the live tail and ends after
 // the terminal job.done event.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !s.authorizeJob(w, st, j) {
 		return
 	}
 	fl, ok := w.(http.Flusher)
@@ -264,6 +396,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("entangling_traces_deduped_total", "Trace uploads answered by existing content.", ld(&c.tracesDeduped))
 	counter("entangling_traces_rejected_total", "Trace uploads rejected (malformed or over budget).", ld(&c.tracesRejected))
 
+	counter("entangling_auth_failures_total", "Requests rejected 401 (missing or unknown API key).", ld(&c.authFailures))
+	counter("entangling_auth_forbidden_total", "Requests rejected 403 (disallowed action).", ld(&c.authForbidden))
+	counter("entangling_quota_rejected_total", "Submissions rejected 429 by a tenant quota.", ld(&c.quotaRejected))
+
 	builds, hits, resident := s.traces.CacheStats()
 	counter("entangling_trace_builds_total", "Workload trace materializations performed.", builds)
 	counter("entangling_trace_hits_total", "Workload trace cache hits.", hits)
@@ -272,9 +408,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	running, known := s.running, len(s.jobs)
 	s.mu.Unlock()
-	gauge("entangling_queue_depth", "Jobs admitted but not yet running.", len(s.queue))
+	gauge("entangling_queue_depth", "Jobs admitted but not yet running.", s.queue.depth())
 	gauge("entangling_jobs_running", "Jobs currently executing.", running)
 	gauge("entangling_jobs_known", "Jobs currently remembered (any state).", known)
+	gauge("entangling_goroutines", "Goroutines in the server process.", runtime.NumGoroutine())
+
+	// Per-tenant sections, labeled in Prometheus style. Absent on an
+	// open server.
+	if s.tenants != nil {
+		labeled := func(name, help, typ string) {
+			fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		}
+		snaps := s.tenants.snapshot()
+		labeled("entangling_tenant_jobs_in_flight", "Non-terminal jobs charged to the tenant.", "gauge")
+		for _, m := range snaps {
+			fmt.Fprintf(&sb, "entangling_tenant_jobs_in_flight{tenant=%q,tier=%q} %d\n", m.Name, m.Tier, m.Inflight)
+		}
+		labeled("entangling_tenant_jobs_submitted_total", "Jobs admitted for the tenant.", "counter")
+		for _, m := range snaps {
+			fmt.Fprintf(&sb, "entangling_tenant_jobs_submitted_total{tenant=%q} %d\n", m.Name, m.JobsSubmitted)
+		}
+		labeled("entangling_tenant_jobs_deduped_total", "Tenant submissions answered by an existing job.", "counter")
+		for _, m := range snaps {
+			fmt.Fprintf(&sb, "entangling_tenant_jobs_deduped_total{tenant=%q} %d\n", m.Name, m.JobsDeduped)
+		}
+		labeled("entangling_tenant_jobs_completed_total", "Tenant jobs that reached a terminal state.", "counter")
+		for _, m := range snaps {
+			fmt.Fprintf(&sb, "entangling_tenant_jobs_completed_total{tenant=%q} %d\n", m.Name, m.JobsCompleted)
+		}
+		labeled("entangling_tenant_cells_charged_total", "Cells charged against the tenant's rate quota.", "counter")
+		for _, m := range snaps {
+			fmt.Fprintf(&sb, "entangling_tenant_cells_charged_total{tenant=%q} %d\n", m.Name, m.CellsCharged)
+		}
+		labeled("entangling_tenant_traces_uploaded_total", "Traces the tenant ingested.", "counter")
+		for _, m := range snaps {
+			fmt.Fprintf(&sb, "entangling_tenant_traces_uploaded_total{tenant=%q} %d\n", m.Name, m.TracesUploaded)
+		}
+		labeled("entangling_tenant_trace_bytes_used", "Stored trace bytes charged to the tenant.", "gauge")
+		for _, m := range snaps {
+			fmt.Fprintf(&sb, "entangling_tenant_trace_bytes_used{tenant=%q} %d\n", m.Name, m.TraceBytes)
+		}
+		labeled("entangling_tenant_rejected_total", "Tenant requests rejected, by reason.", "counter")
+		for _, m := range snaps {
+			reasons := make([]string, 0, len(m.Rejected))
+			for reason := range m.Rejected {
+				reasons = append(reasons, reason)
+			}
+			sort.Strings(reasons)
+			for _, reason := range reasons {
+				fmt.Fprintf(&sb, "entangling_tenant_rejected_total{tenant=%q,reason=%q} %d\n", m.Name, reason, m.Rejected[reason])
+			}
+		}
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"sort"
 	"strings"
 	"sync"
 
@@ -59,13 +60,17 @@ type FailedCell struct {
 	Canceled bool   `json:"canceled"`
 }
 
-// StatusDoc is the GET /v1/jobs/{id} body.
+// StatusDoc is the GET /v1/jobs/{id} body. Tenants lists the owners
+// (submitter plus deduped joiners) on authenticated servers; it is
+// absent in open mode so single-tenant deployments see the PR 4
+// document unchanged.
 type StatusDoc struct {
 	ID      string     `json:"id"`
 	State   string     `json:"state"`
 	Cells   CellCounts `json:"cells"`
 	Warmup  uint64     `json:"warmup"`
 	Measure uint64     `json:"measure"`
+	Tenants []string   `json:"tenants,omitempty"`
 }
 
 // ResultDoc is the GET /v1/jobs/{id}/result body: the counts, the
@@ -92,11 +97,21 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// payer is the tenant whose in-flight slot this job holds (nil in
+	// open mode or for jobs admitted before tenancy was configured);
+	// written once under the server's registration lock, released by
+	// countTerminal.
+	payer *tenantState
+
 	mu      sync.Mutex
 	state   string
 	counts  CellCounts
 	results map[string]map[string]harness.RunResult
 	failed  []FailedCell
+	// owners are the tenants allowed to read and cancel this job: the
+	// submitter plus every tenant whose identical submission deduped
+	// onto it. Empty in open mode.
+	owners map[string]bool
 	// result holds the rendered ResultDoc bytes once terminal.
 	result []byte
 	// done is closed when the job reaches a terminal state.
@@ -120,6 +135,53 @@ func newJob(spec *jobSpec) *job {
 	}
 	j.log.append(Event{Type: EventJobQueued, Total: j.counts.Total})
 	return j
+}
+
+// addOwner grants a tenant read/cancel access to this job.
+func (j *job) addOwner(name string) {
+	j.mu.Lock()
+	if j.owners == nil {
+		j.owners = make(map[string]bool, 1)
+	}
+	j.owners[name] = true
+	j.mu.Unlock()
+}
+
+// isOwner reports whether the tenant may read or cancel this job.
+func (j *job) isOwner(name string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.owners[name]
+}
+
+// dropOwner revokes one tenant's interest and reports how many owners
+// remain — a shared (deduped) job is only canceled when its last
+// owner lets go, so one tenant canceling cannot kill a sweep another
+// tenant is still waiting on.
+func (j *job) dropOwner(name string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.owners, name)
+	return len(j.owners)
+}
+
+// ownerNames snapshots the owner set in sorted order.
+func (j *job) ownerNames() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return ownerNamesLocked(j.owners)
+}
+
+func ownerNamesLocked(owners map[string]bool) []string {
+	if len(owners) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(owners))
+	for n := range owners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // start moves a queued job to running; it reports false when the job
@@ -272,6 +334,7 @@ func (j *job) status() StatusDoc {
 		Cells:   j.counts,
 		Warmup:  j.spec.warmup,
 		Measure: j.spec.measure,
+		Tenants: ownerNamesLocked(j.owners),
 	}
 }
 

@@ -85,8 +85,21 @@ type Config struct {
 	// canceling them (default 10s).
 	DrainGrace time.Duration
 
+	// Tenants, when set, switches the server to authenticated
+	// multi-tenant mode: every /v1 request must present a configured
+	// API key, quotas are enforced, and the admission queue drains by
+	// priority tier. Nil runs the server open (single-tenant, no
+	// auth) — the pre-tenancy behavior.
+	Tenants *TenantsConfig
+	// TierWeights overrides tier weights from the tenants config
+	// (the -tier-weights flag); nil keeps the configured weights.
+	TierWeights map[string]int
+
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// clock overrides time.Now for quota bookkeeping (tests).
+	clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +164,10 @@ type counters struct {
 	tracesUploaded uint64
 	tracesDeduped  uint64
 	tracesRejected uint64
+
+	authFailures  uint64 // 401s: missing or unknown API key
+	authForbidden uint64 // 403s: known tenant, disallowed action
+	quotaRejected uint64 // 429s from any tenant quota
 }
 
 func (c *counters) inc(f *uint64) { atomic.AddUint64(f, 1) }
@@ -166,7 +183,11 @@ type Server struct {
 	dispatch Dispatcher
 	stats    counters
 
-	queue chan *job
+	// tenants is the auth/quota table; nil means the server runs
+	// open (no auth, one tier, no quotas).
+	tenants *tenants
+
+	queue *tierQueue
 	// draining is closed when admission stops; drained is closed when
 	// the last worker exits.
 	draining chan struct{}
@@ -191,11 +212,23 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		reg:      newRegistries(cfg.PerCategory),
 		traces:   workload.NewTraceCache(),
-		queue:    make(chan *job, cfg.QueueCapacity),
 		draining: make(chan struct{}),
 		drained:  make(chan struct{}),
 		jobs:     make(map[string]*job),
 	}
+	tiers := 1
+	if cfg.Tenants != nil {
+		if err := cfg.Tenants.Validate(); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		tt, err := newTenants(*cfg.Tenants, cfg.TierWeights, cfg.clock)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.tenants = tt
+		tiers = tt.tierCount()
+	}
+	s.queue = newTierQueue(cfg.QueueCapacity, tiers)
 	if cfg.TraceDir != "" {
 		tstore, err := trace.OpenStore(cfg.TraceDir)
 		if err != nil {
@@ -239,26 +272,22 @@ func (s *Server) Start() {
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for {
-		select {
-		case <-s.draining:
-			// Drain the queue: jobs still waiting are finalized as
-			// canceled rather than silently forgotten.
-			for {
-				select {
-				case j := <-s.queue:
-					j.cancel()
-					if j.finalize() {
-						s.countTerminal(j)
-					}
-				default:
-					return
-				}
-			}
-		case j := <-s.queue:
-			s.setRunning(+1)
-			s.runJob(j)
-			s.setRunning(-1)
+		j, ok := s.queue.pop()
+		if !ok {
+			return // queue closed and fully drained
 		}
+		if s.Draining() {
+			// Drain: jobs still queued are finalized as canceled
+			// rather than silently forgotten.
+			j.cancel()
+			if j.finalize() {
+				s.countTerminal(j)
+			}
+			continue
+		}
+		s.setRunning(+1)
+		s.runJob(j)
+		s.setRunning(-1)
 	}
 }
 
@@ -337,6 +366,7 @@ func (s *Server) runCell(j *job, cfg harness.Configuration, spec workload.Spec, 
 		Measure:     j.spec.measure,
 		Fingerprint: j.spec.fingerprints[cfg.Name][spec.Name],
 		Plan:        j.spec.plan,
+		Tenant:      j.spec.tenant,
 	}, progress)
 	elapsed := time.Since(start).Milliseconds()
 	if out.Source == SourceSimulated || out.Source == SourceShared {
@@ -372,8 +402,12 @@ func (s *Server) countSource(source string) {
 	}
 }
 
-// countTerminal bumps the job outcome counter for a finalized job.
+// countTerminal bumps the job outcome counter for a finalized job
+// and releases the paying tenant's in-flight slot.
 func (s *Server) countTerminal(j *job) {
+	if j.payer != nil {
+		j.payer.jobDone()
+	}
 	_, state, _ := j.resultBytes()
 	switch state {
 	case StateCompleted:
@@ -393,7 +427,7 @@ func (s *Server) countTerminal(j *job) {
 var errQueueFull = fmt.Errorf("server: job queue full")
 var errDraining = fmt.Errorf("server: draining, not admitting jobs")
 
-func (s *Server) submit(spec *jobSpec) (*job, bool, error) {
+func (s *Server) submit(spec *jobSpec, owner *tenantState) (*job, bool, error) {
 	select {
 	case <-s.draining:
 		return nil, false, errDraining
@@ -402,24 +436,40 @@ func (s *Server) submit(spec *jobSpec) (*job, bool, error) {
 
 	s.mu.Lock()
 	if existing, ok := s.jobs[spec.id]; ok {
+		if owner != nil {
+			existing.addOwner(owner.t.Name)
+			owner.countDeduped()
+		}
 		s.mu.Unlock()
 		s.stats.inc(&s.stats.jobsDeduped)
 		return existing, true, nil
 	}
+	tier := 0
+	if owner != nil {
+		// A deduped submission is free; only net-new work is charged
+		// against the tenant's in-flight and cells/sec quotas.
+		if qerr := owner.admitJob(spec.cellCount(), s.tenants.now()); qerr != nil {
+			s.mu.Unlock()
+			s.stats.inc(&s.stats.quotaRejected)
+			return nil, false, qerr
+		}
+		tier = owner.tier
+		spec.tenant = owner.t.Name
+	}
 	j := newJob(spec)
+	if owner != nil {
+		j.payer = owner
+		j.addOwner(owner.t.Name)
+	}
 	s.jobs[spec.id] = j
 	s.jobOrder = append(s.jobOrder, spec.id)
 	s.pruneJobsLocked()
 	s.mu.Unlock()
 
-	select {
-	case s.queue <- j:
-		s.stats.inc(&s.stats.jobsSubmitted)
-		return j, false, nil
-	default:
-		// Queue full: withdraw the registration entirely so a retry
+	if !s.queue.push(j, tier) {
+		// Queue full: withdraw the registration entirely (so a retry
 		// after Retry-After is a fresh submission, not a dedupe hit on
-		// a job that will never run.
+		// a job that will never run) and refund the quota charge.
 		s.mu.Lock()
 		delete(s.jobs, spec.id)
 		for i, id := range s.jobOrder {
@@ -429,10 +479,15 @@ func (s *Server) submit(spec *jobSpec) (*job, bool, error) {
 			}
 		}
 		s.mu.Unlock()
+		if owner != nil {
+			owner.refundAdmission(spec.cellCount())
+		}
 		j.cancel()
 		s.stats.inc(&s.stats.jobsRejected)
 		return nil, false, errQueueFull
 	}
+	s.stats.inc(&s.stats.jobsSubmitted)
+	return j, false, nil
 }
 
 // pruneJobsLocked forgets the oldest terminal jobs beyond MaxJobs.
@@ -484,6 +539,7 @@ func (s *Server) Drain() {
 	s.drainOne.Do(func() {
 		s.cfg.Logf("server: draining (grace %v)", s.cfg.DrainGrace)
 		close(s.draining)
+		s.queue.close()
 
 		grace := time.NewTimer(s.cfg.DrainGrace)
 		defer grace.Stop()

@@ -49,14 +49,30 @@ func docFromInfo(info trace.TraceInfo, deduped bool) traceDoc {
 // Over-budget streams answer 413 naming the offending limit; malformed
 // streams answer 400 with the typed decode error.
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	if s.tstore == nil {
 		writeError(w, http.StatusServiceUnavailable,
 			"trace storage is not configured on this server (set TraceDir)")
 		return
 	}
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeErrorReason(w, http.StatusServiceUnavailable, ReasonDraining, "server is draining")
 		return
+	}
+	if st != nil {
+		// The quota gate runs before a single body byte streams; the
+		// charge lands after a successful ingest, so the worst
+		// overshoot is one upload body (itself capped by
+		// MaxTraceBytes), never an unbounded stream.
+		if qerr := st.admitTraceBytes(); qerr != nil {
+			s.stats.inc(&s.stats.quotaRejected)
+			w.Header().Set("Retry-After", "60")
+			writeErrorReason(w, http.StatusTooManyRequests, qerr.reason, "%s", qerr.msg)
+			return
+		}
 	}
 	format := r.URL.Query().Get("format")
 	switch format {
@@ -93,12 +109,17 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Idempotent re-upload: same content, same ID, 200 instead of 201.
+	// Dedupe hits are free — the bytes were already stored (and
+	// charged) once.
 	status := http.StatusCreated
 	if deduped {
 		status = http.StatusOK
 		s.stats.inc(&s.stats.tracesDeduped)
 	} else {
 		s.stats.inc(&s.stats.tracesUploaded)
+		if st != nil {
+			st.chargeTraceBytes(info.Bytes)
+		}
 		s.cfg.Logf("server: trace %s ingested (%s, %d instructions, %d bytes)",
 			info.ID[:16], info.Format, info.Instructions, info.Bytes)
 	}
@@ -107,6 +128,9 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 
 // handleTraceList lists stored traces.
 func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authenticate(w, r); !ok {
+		return
+	}
 	if s.tstore == nil {
 		writeError(w, http.StatusServiceUnavailable,
 			"trace storage is not configured on this server (set TraceDir)")
@@ -128,6 +152,9 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 
 // handleTraceStat returns one stored trace's metadata.
 func (s *Server) handleTraceStat(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authenticate(w, r); !ok {
+		return
+	}
 	if s.tstore == nil {
 		writeError(w, http.StatusServiceUnavailable,
 			"trace storage is not configured on this server (set TraceDir)")
