@@ -1,0 +1,320 @@
+// Command predict-smoke is the CI gate for the approximate fast path
+// (internal/predict). It runs the repository's pinned benchmark
+// mini-sweep exactly — training the model through the harness Observe
+// hook on every completed cell — then answers the same cells from the
+// model and checks two things the fast path must never violate:
+//
+//  1. The exact pass's metrics fingerprint is byte-identical to
+//     cmd/bench's (training is a pure observer: it cannot perturb
+//     simulation).
+//  2. Conformal coverage on the served answers stays at or above
+//     -min-coverage: the true metric lies inside the reported interval
+//     for at least that fraction of predictions.
+//
+// The run is summarized in a versioned PREDICT-BENCH JSON document
+// (exact vs. approximate wall-clock, fallback rate, coverage) written
+// to -out, e.g. the checked-in BENCH_PR10.json.
+//
+// Examples:
+//
+//	predict-smoke -label PR10 -out BENCH_PR10.json
+//	predict-smoke -check BENCH_PR10.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"entangling/internal/harness"
+	"entangling/internal/predict"
+	"entangling/internal/workload"
+)
+
+// DocSchemaVersion identifies the PREDICT-BENCH JSON layout.
+const DocSchemaVersion = 1
+
+// DocKind tags the document.
+const DocKind = "entangling-predict-bench"
+
+// Doc is the versioned record predict-smoke writes: one exact pass,
+// one approximate pass over the same cells, and the coverage verdict.
+type Doc struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"`
+	Label         string `json:"label"`
+
+	// Sweep shape (the pinned cmd/bench mini-sweep).
+	Cells     int      `json:"cells"`
+	Configs   []string `json:"configs"`
+	Workloads []string `json:"workloads"`
+	Warmup    uint64   `json:"warmup"`
+	Measure   uint64   `json:"measure"`
+
+	// ExactMetricsSHA256 fingerprints the exact pass's metrics export;
+	// CI asserts it equals cmd/bench's for the same sweep.
+	ExactMetricsSHA256 string `json:"exact_metrics_sha256"`
+
+	// Wall-clock of the exact sweep vs. answering every cell from the
+	// model; Speedup is their ratio.
+	ExactWallSeconds  float64 `json:"exact_wall_seconds"`
+	ApproxWallSeconds float64 `json:"approx_wall_seconds"`
+	Speedup           float64 `json:"speedup"`
+
+	// Predicted/Fallback split the approximate pass: cells answered
+	// inside the -max-rel-err budget vs. cells that would have fallen
+	// back to exact simulation.
+	Predicted    int     `json:"predicted"`
+	Fallback     int     `json:"fallback"`
+	FallbackRate float64 `json:"fallback_rate"`
+
+	// Coverage is the fraction of served predictions whose intervals
+	// contained the true metric for every tracked metric; the run fails
+	// below MinCoverage.
+	Coverage    float64 `json:"coverage"`
+	MinCoverage float64 `json:"min_coverage"`
+
+	// Model state after training.
+	TrainSize       int `json:"train_size"`
+	CalibrationSize int `json:"calibration_size"`
+}
+
+// Validate reports the first structural problem with a document.
+func (d Doc) Validate() error {
+	switch {
+	case d.SchemaVersion != DocSchemaVersion:
+		return fmt.Errorf("predict-smoke: schema_version %d, want %d", d.SchemaVersion, DocSchemaVersion)
+	case d.Kind != DocKind:
+		return fmt.Errorf("predict-smoke: kind %q, want %q", d.Kind, DocKind)
+	case d.Label == "":
+		return errors.New("predict-smoke: empty label")
+	case d.Cells <= 0:
+		return errors.New("predict-smoke: no cells")
+	case len(d.ExactMetricsSHA256) != 64:
+		return errors.New("predict-smoke: exact_metrics_sha256 is not a sha256 hex digest")
+	case d.Predicted+d.Fallback != d.Cells:
+		return fmt.Errorf("predict-smoke: predicted %d + fallback %d != cells %d", d.Predicted, d.Fallback, d.Cells)
+	case d.FallbackRate < 0 || d.FallbackRate > 1:
+		return fmt.Errorf("predict-smoke: fallback_rate %v outside [0,1]", d.FallbackRate)
+	case d.Coverage < 0 || d.Coverage > 1:
+		return fmt.Errorf("predict-smoke: coverage %v outside [0,1]", d.Coverage)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		label       = flag.String("label", "dev", "document label (e.g. PR10)")
+		out         = flag.String("out", "", "write the PREDICT-BENCH JSON document here (default stdout)")
+		maxRelErr   = flag.Float64("max-rel-err", 0.25, "error budget: a cell whose widest relative interval half-width exceeds this counts as a fallback")
+		minCoverage = flag.Float64("min-coverage", 0.9, "fail (exit 1) when interval coverage over served predictions falls below this")
+		check       = flag.String("check", "", "validate an existing PREDICT-BENCH JSON file and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		doc, err := readDoc(*check)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid (label %s, coverage %.3f, fallback rate %.3f, %.1fx vs exact)\n",
+			*check, doc.Label, doc.Coverage, doc.FallbackRate, doc.Speedup)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	doc, err := run(ctx, *label, *maxRelErr, *minCoverage)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"%s: exact %.2fs, approx %.4fs (%.0fx), %d/%d predicted (fallback rate %.3f), coverage %.3f (floor %.2f)\n",
+		doc.Label, doc.ExactWallSeconds, doc.ApproxWallSeconds, doc.Speedup,
+		doc.Predicted, doc.Cells, doc.FallbackRate, doc.Coverage, doc.MinCoverage)
+	if doc.Coverage < doc.MinCoverage {
+		fmt.Fprintf(os.Stderr, "predict-smoke: coverage %.3f below floor %.2f\n", doc.Coverage, doc.MinCoverage)
+		os.Exit(1)
+	}
+}
+
+// run executes the exact pass (training as it goes), then the
+// approximate pass, and assembles the document.
+func run(ctx context.Context, label string, maxRelErr, minCoverage float64) (Doc, error) {
+	specs := harness.PinnedBenchSpecs()
+	cfgs := harness.PinnedBenchConfigurations()
+	opt := harness.PinnedBenchOptions()
+
+	doc := Doc{
+		SchemaVersion: DocSchemaVersion,
+		Kind:          DocKind,
+		Label:         label,
+		Cells:         len(specs) * len(cfgs),
+		Warmup:        opt.Warmup,
+		Measure:       opt.Measure,
+		MinCoverage:   minCoverage,
+	}
+	for _, c := range cfgs {
+		doc.Configs = append(doc.Configs, c.Name)
+	}
+	for _, s := range specs {
+		doc.Workloads = append(doc.Workloads, s.Name)
+	}
+
+	// Materialize traces up front so the exact wall-clock measures the
+	// sweep itself, matching cmd/bench's methodology.
+	cache := workload.NewTraceCache()
+	opt.Traces = cache
+	for _, s := range specs {
+		if _, err := cache.Pin(s, opt.Warmup+opt.Measure); err != nil {
+			return Doc{}, fmt.Errorf("predict-smoke: materializing %s: %w", s.Name, err)
+		}
+	}
+
+	// Exact pass: the Observe hook trains the model on every completed
+	// cell, exactly as a serving node does.
+	model := predict.New(predict.Config{})
+	opt.Observe = func(cfg harness.Configuration, spec workload.Spec, res harness.RunResult) {
+		model.Observe(
+			harness.CellFingerprint(cfg, spec, opt.Warmup, opt.Measure),
+			predict.CellFeatures(cfg, spec, opt.Warmup, opt.Measure),
+			predict.Targets(res),
+		)
+	}
+	start := time.Now()
+	s, err := harness.RunSuiteCtx(ctx, specs, cfgs, opt)
+	doc.ExactWallSeconds = time.Since(start).Seconds()
+	if err != nil {
+		return Doc{}, fmt.Errorf("predict-smoke: exact sweep: %w", err)
+	}
+
+	var sb strings.Builder
+	if err := harness.WriteMetricsJSON(&sb, s.Metrics()); err != nil {
+		return Doc{}, err
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	doc.ExactMetricsSHA256 = hex.EncodeToString(sum[:])
+
+	// Round-trip the model through its snapshot codec before answering:
+	// the approximate pass below exercises the restored model, so a
+	// codec regression fails this gate too.
+	restored := predict.New(predict.Config{})
+	snapBytes, err := predict.EncodeModelSnapshot(model.Snapshot())
+	if err != nil {
+		return Doc{}, fmt.Errorf("predict-smoke: encoding snapshot: %w", err)
+	}
+	snap, err := predict.DecodeModelSnapshot(snapBytes)
+	if err != nil {
+		return Doc{}, fmt.Errorf("predict-smoke: decoding snapshot: %w", err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		return Doc{}, fmt.Errorf("predict-smoke: restoring snapshot: %w", err)
+	}
+
+	// Approximate pass: answer every cell of the same sweep from the
+	// restored model, scoring each served interval against the truth
+	// from the exact pass.
+	covered, served := 0, 0
+	start = time.Now()
+	for _, cfg := range cfgs {
+		for _, spec := range specs {
+			features := predict.CellFeatures(cfg, spec, opt.Warmup, opt.Measure)
+			pred, ok := restored.Predict(features)
+			if !ok || pred.MaxRelWidth() > maxRelErr {
+				doc.Fallback++
+				continue
+			}
+			served++
+			res, found := s.Runs[cfg.Name][spec.Name]
+			if !found {
+				return Doc{}, fmt.Errorf("predict-smoke: exact result missing for %s/%s", cfg.Name, spec.Name)
+			}
+			if pred.Covers(predict.Targets(res)) {
+				covered++
+			}
+		}
+	}
+	doc.ApproxWallSeconds = time.Since(start).Seconds()
+	doc.Predicted = served
+	doc.FallbackRate = float64(doc.Fallback) / float64(doc.Cells)
+	if doc.ApproxWallSeconds > 0 {
+		doc.Speedup = doc.ExactWallSeconds / doc.ApproxWallSeconds
+	}
+	if served > 0 {
+		doc.Coverage = float64(covered) / float64(served)
+	}
+	if served == 0 {
+		return Doc{}, errors.New("predict-smoke: model served no predictions (all cells fell back)")
+	}
+	doc.TrainSize = predTrainSize(snap)
+	doc.CalibrationSize = len(snap.Examples) - doc.TrainSize
+	return doc, nil
+}
+
+// predTrainSize counts the snapshot's non-calibration examples.
+func predTrainSize(snap predict.ModelSnapshot) int {
+	n := 0
+	for _, ex := range snap.Examples {
+		if !predict.IsCalibrationFingerprint(ex.Fingerprint) {
+			n++
+		}
+	}
+	return n
+}
+
+// readDoc strictly decodes one PREDICT-BENCH document.
+func readDoc(path string) (Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var d Doc
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return Doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return Doc{}, fmt.Errorf("%s: trailing data after document", path)
+	}
+	if err := d.Validate(); err != nil {
+		return Doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -170,6 +170,15 @@ type Options struct {
 	// Called concurrently from worker goroutines; see ProgressFunc.
 	Progress ProgressFunc
 
+	// Observe, when set, receives every completed cell's result —
+	// both cells simulated by this run and cells restored from the
+	// checkpoint store — exactly once per (config, workload) cell.
+	// It feeds online consumers such as the internal/predict training
+	// loop and has no effect on the sweep's own results or
+	// checkpoints. Called concurrently from worker goroutines; must
+	// be safe for concurrent use.
+	Observe func(cfg Configuration, spec workload.Spec, res RunResult)
+
 	// Warm, when non-nil, caches post-warmup machine snapshots keyed
 	// by warmup-equivalence class (see WarmupSnapshots): cells whose
 	// class already has a snapshot fork it and simulate only their

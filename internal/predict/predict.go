@@ -1,0 +1,570 @@
+// Package predict is the learned fast-path of the simulation service:
+// an online, deterministic, feature-based estimator that trains
+// incrementally on every completed cell's metrics vector and answers
+// mode=approximate queries with per-metric prediction intervals
+// derived from held-out conformal residuals. Exact simulation remains
+// the fallback (intervals wider than the caller's max_rel_err budget
+// decline to answer) and the refiner (an exact result for a
+// previously-predicted cell calibrates the model's stated intervals).
+//
+// Two properties are load-bearing and proven by the battery in
+// predict_test.go:
+//
+//   - Approximate answers are deterministic for a fixed training
+//     history: the model is a pure function of the *set* of observed
+//     cells (insertion order does not matter — neighbors are ordered
+//     by (distance, fingerprint) and the calibration split is a hash
+//     of the fingerprint), and feature extraction is pure.
+//   - Approximate answers can never poison the exact path: the
+//     predictor produces predict.Prediction values, never
+//     harness.RunResult records, so nothing it emits can enter the
+//     content-addressed checkpoint store, the in-process result
+//     cache, or a metrics fingerprint.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"entangling/internal/harness"
+	"entangling/internal/stats"
+	"entangling/internal/workload"
+)
+
+// MetricNames is the fixed, ordered metric vector the model estimates
+// per cell. Every Observe target vector and every Prediction is
+// aligned with it. Changing the set is a model schema change (bump
+// ModelSchemaVersion).
+var MetricNames = []string{"ipc", "l1i_mpki", "l1i_hit_rate", "l1i_stall_share"}
+
+// Hash-bucket widths of the categorical feature blocks. The buckets
+// turn unbounded name spaces (prefetcher names, workload presets,
+// trace SHAs) into fixed-length one-hot blocks; collisions degrade
+// accuracy gracefully, never correctness.
+const (
+	pfBuckets  = 12
+	wlBuckets  = 12
+	catBuckets = 4
+)
+
+// numericFeatures counts the scalar tail of the feature vector; keep
+// in sync with CellFeatures.
+const numericFeatures = 25
+
+// FeatureLen is the fixed length of every cell feature vector.
+const FeatureLen = 1 + 2 + 3 + pfBuckets + 1 + wlBuckets + catBuckets + numericFeatures
+
+// featureSalt and calibSalt decorrelate the hash-bucket assignment
+// from the train/calibration split.
+const (
+	featureSalt = 0x9E3779B97F4A7C15
+	calibSalt   = 0xD1B54A32D192ED03
+)
+
+// CellFeatures derives the hand-built feature vector of one cell from
+// exactly the inputs that fix its CellFingerprint: the configuration
+// (prefetcher family and size, cache shape, address mode), the fully
+// derived workload parameters (preset shape or trace SHA), and the
+// run windows. Pure and deterministic: equal cells yield equal
+// vectors. Scales are chosen so every slot lands roughly in [0, 2];
+// k-NN distances then weight the blocks comparably without a learned
+// normalizer (which would make the model order-sensitive).
+func CellFeatures(cfg harness.Configuration, spec workload.Spec, warmup, measure uint64) []float64 {
+	f := make([]float64, 0, FeatureLen)
+	f = append(f, 1) // bias
+
+	// Window geometry.
+	f = append(f, math.Log2(float64(warmup)+1)/32, math.Log2(float64(measure)+1)/32)
+
+	// Cache shape and address mode. The simulated front end is fixed
+	// apart from these knobs (one branch-predictor kind), so the block
+	// is small; L1IWays 0 means the default geometry.
+	ways := float64(cfg.L1IWays)
+	if cfg.L1IWays == 0 {
+		ways = 8
+	}
+	f = append(f, b2f(cfg.IdealL1I), b2f(cfg.Physical), ways/24)
+
+	// Prefetcher family + storage budget. The family (name with its
+	// size token removed) hashes into a one-hot block so "entangling-2k"
+	// and "entangling-4k" share a family but differ in the size slot.
+	family, sizeKB := splitPrefetcher(cfg.Prefetcher)
+	f = appendOneHot(f, pfBuckets, 2, featureSalt, "pf", family)
+	f = append(f, math.Log2(sizeKB+1)/4)
+
+	// Workload identity: the preset name (or trace content address)
+	// dominates similarity, so it gets the same strong one-hot weight.
+	p := spec.Params
+	f = appendOneHot(f, wlBuckets, 2, featureSalt, "wl", spec.Name, p.TraceSHA256)
+	f = appendOneHot(f, catBuckets, 1, featureSalt, "cat", string(p.Category))
+
+	// Workload shape scalars (zero for trace-backed cells, whose
+	// identity block above carries everything).
+	f = append(f,
+		float64(p.Functions)/1000,
+		float64(p.MeanBlocks)/100,
+		float64(p.MeanBlockInstrs)/100,
+		p.CallFrac,
+		p.IndirectFrac,
+		p.JumpFrac,
+		p.CondFrac,
+		p.LoopBackProb,
+		p.LoopIterMean/100,
+		p.CondTakenBias,
+		p.CallSkew,
+		float64(p.MaxCallDepth)/100,
+		p.LoadFrac,
+		p.StoreFrac,
+		math.Log2(float64(p.DataFootprint)+1)/32,
+		math.Log2(float64(p.PhaseLen)+1)/32,
+		float64(p.DriverFanout)/100,
+		p.DispatchSkew,
+		float64(p.PathFlavors)/10,
+		p.PathNoise,
+		math.Log2(float64(p.CodePhaseLen)+1)/32,
+		p.CodeRelocFrac,
+		math.Log2(float64(p.InterruptEvery)+1)/32,
+		float64(p.InterruptFns)/100,
+		math.Log2(float64(p.ColdEvery)+1)/32,
+	)
+	if len(f) != FeatureLen {
+		panic(fmt.Sprintf("predict: feature vector length %d, want %d", len(f), FeatureLen))
+	}
+	return f
+}
+
+// Targets extracts the MetricNames-aligned target vector from one
+// completed cell's results.
+func Targets(res harness.RunResult) []float64 {
+	stallShare := 0.0
+	if t := res.R.Stalls.Total(); t > 0 {
+		stallShare = float64(res.R.Stalls.L1IMiss) / float64(t)
+	}
+	return []float64{res.R.IPC, res.R.L1IMPKI(), res.R.L1IHitRate(), stallShare}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// appendOneHot appends an n-slot one-hot block selecting the hash
+// bucket of parts, with the set slot at weight w.
+func appendOneHot(f []float64, n int, w float64, salt uint64, parts ...string) []float64 {
+	idx := int(stats.Hash64(salt, parts...) % uint64(n))
+	for i := 0; i < n; i++ {
+		if i == idx {
+			f = append(f, w)
+		} else {
+			f = append(f, 0)
+		}
+	}
+	return f
+}
+
+// splitPrefetcher separates a prefetcher name into its family and
+// storage budget in KB: "entangling-4k-BBEnt" -> ("entangling-BBEnt",
+// 4). Names without a size token ("nextline", "djolt", "", "no")
+// return the whole name and 0.
+func splitPrefetcher(name string) (family string, sizeKB float64) {
+	if name == "" || name == "no" {
+		return "no", 0
+	}
+	parts := strings.Split(name, "-")
+	kept := parts[:0]
+	for _, p := range parts {
+		if n, ok := sizeToken(p); ok && sizeKB == 0 {
+			sizeKB = n
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, "-"), sizeKB
+}
+
+// sizeToken parses "2k"/"4k"/"8k"-style storage tokens.
+func sizeToken(s string) (float64, bool) {
+	if len(s) < 2 || s[len(s)-1] != 'k' {
+		return 0, false
+	}
+	var n float64
+	for _, c := range s[:len(s)-1] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + float64(c-'0')
+	}
+	return n, n > 0
+}
+
+// Config sizes a Predictor. Zero fields take the documented defaults.
+type Config struct {
+	// K is the neighbor count of the k-NN point estimate (default 3).
+	K int
+	// Coverage is the target joint coverage of the stated intervals —
+	// the probability that every metric's band holds at once (default
+	// 0.9). Each per-metric band is cut at the Bonferroni-corrected
+	// quantile with the standard ceil((n+1)*coverage) finite-sample
+	// correction.
+	Coverage float64
+	// MinCalibration is the fewest held-out residuals the model will
+	// state intervals from (default 5); with fewer it declines to
+	// answer, which the caller treats as a fallback to exact.
+	MinCalibration int
+	// MaxExamples bounds the stored training set (default 4096).
+	// Observations past the cap are dropped (first-wins: deterministic
+	// and order-stable for any fixed observation sequence).
+	MaxExamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.Coverage <= 0 || c.Coverage >= 1 {
+		c.Coverage = 0.9
+	}
+	if c.MinCalibration <= 0 {
+		c.MinCalibration = 5
+	}
+	if c.MaxExamples <= 0 {
+		c.MaxExamples = 4096
+	}
+	return c
+}
+
+// Interval is one metric's point estimate with its conformal
+// prediction band.
+type Interval struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+}
+
+// metricScaleFloors floors the per-metric magnitude scale that both
+// normalizes calibration residuals and judges interval widths, so
+// near-zero metrics are held to an absolute rather than relative
+// standard (a ±0.5 band around an MPKI of 0.001 is tight in every
+// sense that matters). Indexed like MetricNames: IPC and the two
+// ratios floor at 0.05; MPKI — which spans three orders of magnitude
+// across the corpus — floors at 1.0 so sub-1-MPKI cells are judged
+// against one miss per kilo-instruction.
+var metricScaleFloors = []float64{0.05, 1.0, 0.05, 0.05}
+
+// metricScale is the normalization scale for metric m at value v.
+func metricScale(m int, v float64) float64 {
+	if s := math.Abs(v); s > metricScaleFloors[m] {
+		return s
+	}
+	return metricScaleFloors[m]
+}
+
+// scaleFloorByName resolves a metric name to its scale floor (RelWidth
+// runs on decoded Interval values, which carry names, not indices).
+func scaleFloorByName(name string) float64 {
+	for m, n := range MetricNames {
+		if n == name {
+			return metricScaleFloors[m]
+		}
+	}
+	return metricScaleFloors[0]
+}
+
+// RelWidth is the interval's half-width relative to the magnitude of
+// its point estimate (floored per metric, so near-zero metrics are
+// judged on an absolute scale). Because residuals are normalized by
+// the same scale, this equals the conformal quantile the band was cut
+// at — uniform across cells for a fixed model state.
+func (iv Interval) RelWidth() float64 {
+	den := math.Abs(iv.Value)
+	if f := scaleFloorByName(iv.Metric); den < f {
+		den = f
+	}
+	return (iv.Hi - iv.Lo) / 2 / den
+}
+
+// Prediction is one approximate cell answer: every metric's interval
+// plus the model state it was computed from.
+type Prediction struct {
+	Intervals []Interval `json:"intervals"`
+	// TrainSize and CalibrationSize record how much history backed the
+	// answer (they make two answers from different training histories
+	// distinguishable in logs and result documents).
+	TrainSize       int `json:"train_size"`
+	CalibrationSize int `json:"calibration_size"`
+}
+
+// MaxRelWidth is the widest metric's relative half-width — the number
+// a max_rel_err budget is checked against.
+func (p Prediction) MaxRelWidth() float64 {
+	w := 0.0
+	for _, iv := range p.Intervals {
+		if r := iv.RelWidth(); r > w {
+			w = r
+		}
+	}
+	return w
+}
+
+// Covers reports whether every metric's true value falls inside its
+// stated interval (the observed-vs-predicted calibration check run
+// when an exact result refines a predicted cell).
+func (p Prediction) Covers(targets []float64) bool {
+	if len(targets) != len(p.Intervals) {
+		return false
+	}
+	for i, iv := range p.Intervals {
+		if targets[i] < iv.Lo || targets[i] > iv.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// example is one observed cell.
+type example struct {
+	fp       string
+	features []float64
+	targets  []float64
+}
+
+// Predictor is the online model: a per-metric k-NN point estimator
+// over the observed cells assigned to the training split, with
+// interval half-widths taken as conformal quantiles of the held-out
+// calibration split's residuals. Safe for concurrent use.
+type Predictor struct {
+	cfg Config
+
+	mu   sync.Mutex
+	byFP map[string]int
+	all  []example
+
+	// Calibration residuals are recomputed lazily from the current
+	// train/calibration sets (so they are a function of the observed
+	// set, not of insertion order) and cached until the next Observe.
+	version   uint64
+	calibAt   uint64
+	residuals [][]float64 // [metric][sorted abs residuals]
+}
+
+// New builds a Predictor.
+func New(cfg Config) *Predictor {
+	return &Predictor{cfg: cfg.withDefaults(), byFP: make(map[string]int)}
+}
+
+// isCalibration assigns a cell to the held-out calibration split
+// (roughly a quarter of observations) by fingerprint hash — stable
+// across processes, restarts and observation orders.
+func isCalibration(fp string) bool {
+	return stats.Hash64(calibSalt, fp)%4 == 0
+}
+
+// IsCalibrationFingerprint reports whether a cell fingerprint lands in
+// the held-out calibration split. Exported for tooling that wants to
+// partition a known cell set the way the model will (cmd/predict-smoke
+// reports train vs. calibration sizes with it).
+func IsCalibrationFingerprint(fp string) bool { return isCalibration(fp) }
+
+// Observe trains the model on one completed cell. Duplicate
+// fingerprints and non-finite vectors are ignored (reported false);
+// cells are deterministic over their fingerprint, so a duplicate
+// carries no new information. Past MaxExamples new cells are dropped.
+func (p *Predictor) Observe(fingerprint string, features, targets []float64) bool {
+	if fingerprint == "" || len(features) != FeatureLen || len(targets) != len(MetricNames) {
+		return false
+	}
+	if !allFinite(features) || !allFinite(targets) {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.byFP[fingerprint]; ok {
+		return false
+	}
+	if len(p.all) >= p.cfg.MaxExamples {
+		return false
+	}
+	p.byFP[fingerprint] = len(p.all)
+	p.all = append(p.all, example{
+		fp:       fingerprint,
+		features: append([]float64(nil), features...),
+		targets:  append([]float64(nil), targets...),
+	})
+	p.version++
+	return true
+}
+
+// Len reports how many cells the model has observed.
+func (p *Predictor) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.all)
+}
+
+func allFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict answers one cell query. ok is false when the model cannot
+// state calibrated intervals yet (too little training or calibration
+// history) — the caller must fall back to exact simulation.
+func (p *Predictor) Predict(features []float64) (Prediction, bool) {
+	if len(features) != FeatureLen || !allFinite(features) {
+		return Prediction{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	train := p.trainSetLocked()
+	if len(train) < p.cfg.K {
+		return Prediction{}, false
+	}
+	p.calibrateLocked(train)
+	nCal := 0
+	if len(p.residuals) > 0 {
+		nCal = len(p.residuals[0])
+	}
+	if nCal < p.cfg.MinCalibration {
+		return Prediction{}, false
+	}
+
+	point := knnEstimate(train, features, p.cfg.K)
+	pred := Prediction{
+		Intervals:       make([]Interval, len(MetricNames)),
+		TrainSize:       len(train),
+		CalibrationSize: nCal,
+	}
+	// Coverage is a joint guarantee across all metrics: Covers demands
+	// every band hold at once, so each per-metric quantile is cut at
+	// the Bonferroni-corrected level (union bound: four 97.5% bands
+	// jointly miss at most 10% of the time).
+	perMetric := 1 - (1-p.cfg.Coverage)/float64(len(MetricNames))
+	for m, name := range MetricNames {
+		h := conformalQuantile(p.residuals[m], perMetric) * metricScale(m, point[m])
+		pred.Intervals[m] = Interval{
+			Metric: name,
+			Value:  point[m],
+			Lo:     point[m] - h,
+			Hi:     point[m] + h,
+		}
+	}
+	return pred, true
+}
+
+// trainSetLocked returns the training-split examples in a
+// deterministic order (slice order is insertion order, but every
+// consumer re-sorts by distance with a fingerprint tie-break, so the
+// result is order-insensitive).
+func (p *Predictor) trainSetLocked() []example {
+	train := make([]example, 0, len(p.all))
+	for _, ex := range p.all {
+		if !isCalibration(ex.fp) {
+			train = append(train, ex)
+		}
+	}
+	return train
+}
+
+// calibrateLocked (re)computes the held-out residual sets: every
+// calibration cell is answered by the current training split and the
+// per-metric absolute errors — normalized by each truth's magnitude
+// scale, so one quantile spans cells of very different magnitudes —
+// are collected, sorted ascending. Cached per model version;
+// O(calibration x train) when it runs.
+func (p *Predictor) calibrateLocked(train []example) {
+	if p.calibAt == p.version && p.residuals != nil {
+		return
+	}
+	res := make([][]float64, len(MetricNames))
+	if len(train) >= p.cfg.K {
+		for _, ex := range p.all {
+			if !isCalibration(ex.fp) {
+				continue
+			}
+			point := knnEstimate(train, ex.features, p.cfg.K)
+			for m := range MetricNames {
+				res[m] = append(res[m], math.Abs(ex.targets[m]-point[m])/metricScale(m, ex.targets[m]))
+			}
+		}
+	}
+	for m := range res {
+		sort.Float64s(res[m])
+	}
+	p.residuals = res
+	p.calibAt = p.version
+}
+
+// knnEstimate is the distance-weighted k-nearest-neighbor point
+// estimate over the training split. Ties in distance break on
+// fingerprint, so the estimate is independent of example order.
+func knnEstimate(train []example, features []float64, k int) []float64 {
+	type scored struct {
+		dist float64
+		idx  int
+	}
+	cand := make([]scored, len(train))
+	for i := range train {
+		cand[i] = scored{dist: euclidean(train[i].features, features), idx: i}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].dist != cand[b].dist {
+			return cand[a].dist < cand[b].dist
+		}
+		return train[cand[a].idx].fp < train[cand[b].idx].fp
+	})
+	if k > len(cand) {
+		k = len(cand)
+	}
+	point := make([]float64, len(MetricNames))
+	var wsum float64
+	for _, c := range cand[:k] {
+		w := 1 / (c.dist + 1e-9)
+		wsum += w
+		for m := range point {
+			point[m] += w * train[c.idx].targets[m]
+		}
+	}
+	for m := range point {
+		point[m] /= wsum
+	}
+	return point
+}
+
+func euclidean(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// conformalQuantile returns the split-conformal interval half-width:
+// the ceil((n+1)*coverage)-th smallest residual (clamped to the
+// largest), which gives at-least-coverage marginal validity under
+// exchangeability.
+func conformalQuantile(sorted []float64, coverage float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	rank := int(math.Ceil(coverage * float64(n+1)))
+	if rank > n {
+		rank = n
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

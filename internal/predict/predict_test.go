@@ -1,0 +1,359 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"entangling/internal/harness"
+	"entangling/internal/stats"
+	"entangling/internal/workload"
+)
+
+// synthExample builds one deterministic synthetic training cell: a few
+// informative feature dimensions drawn from the cell index, targets a
+// smooth function of them plus small hash noise. The noise is a pure
+// function of the fingerprint, so the corpus is exchangeable across
+// insertion orders and test runs.
+func synthExample(i int) (fp string, features, targets []float64) {
+	fp = fmt.Sprintf("synth-%04d", i)
+	r := func(salt uint64) float64 {
+		return stats.UnitFloat(stats.Hash64(salt, fp))
+	}
+	x1, x2, x3 := r(1), r(2), r(3)
+	features = make([]float64, FeatureLen)
+	features[0] = 1
+	features[1] = x1
+	features[2] = x2
+	features[3] = x3
+	noise := func(salt uint64, scale float64) float64 {
+		return (r(salt) - 0.5) * scale
+	}
+	targets = []float64{
+		0.5 + 2*x1 + noise(10, 0.05),      // ipc
+		40*x2 + noise(11, 1.0),            // l1i_mpki
+		1 - 0.4*x2 + noise(12, 0.02),      // l1i_hit_rate
+		0.25*x3*(1-x2) + noise(13, 0.005), // l1i_stall_share
+	}
+	return fp, features, targets
+}
+
+func pinnedConfig() harness.Configuration {
+	return harness.Configuration{Name: "entangling-4k", Prefetcher: "entangling-4k"}
+}
+
+func pinnedSpec() workload.Spec {
+	specs := harness.PinnedBenchSpecs()
+	return specs[0]
+}
+
+func TestCellFeaturesShapeAndDeterminism(t *testing.T) {
+	cfg, spec := pinnedConfig(), pinnedSpec()
+	a := CellFeatures(cfg, spec, 400_000, 200_000)
+	b := CellFeatures(cfg, spec, 400_000, 200_000)
+	if len(a) != FeatureLen {
+		t.Fatalf("feature length %d, want %d", len(a), FeatureLen)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same cell produced different feature vectors")
+	}
+	if !allFinite(a) {
+		t.Fatal("feature vector has non-finite values")
+	}
+	other := CellFeatures(harness.Baseline, spec, 400_000, 200_000)
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different configurations produced identical features")
+	}
+	windows := CellFeatures(cfg, spec, 100_000, 200_000)
+	if reflect.DeepEqual(a, windows) {
+		t.Fatal("different warmup windows produced identical features")
+	}
+}
+
+func TestObserveRejections(t *testing.T) {
+	p := New(Config{})
+	fp, features, targets := synthExample(0)
+	if !p.Observe(fp, features, targets) {
+		t.Fatal("valid observation rejected")
+	}
+	if p.Observe(fp, features, targets) {
+		t.Fatal("duplicate fingerprint accepted")
+	}
+	if p.Observe("", features, targets) {
+		t.Fatal("empty fingerprint accepted")
+	}
+	if p.Observe("short", features[:3], targets) {
+		t.Fatal("short feature vector accepted")
+	}
+	if p.Observe("badtargets", features, targets[:1]) {
+		t.Fatal("short target vector accepted")
+	}
+	bad := append([]float64(nil), features...)
+	bad[5] = math.NaN()
+	if p.Observe("nan", bad, targets) {
+		t.Fatal("NaN features accepted")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after one valid observation", p.Len())
+	}
+}
+
+func TestObserveCapFirstWins(t *testing.T) {
+	p := New(Config{MaxExamples: 10})
+	for i := 0; i < 20; i++ {
+		fp, features, targets := synthExample(i)
+		want := i < 10
+		if got := p.Observe(fp, features, targets); got != want {
+			t.Fatalf("Observe(example %d) = %v, want %v", i, got, want)
+		}
+	}
+	if p.Len() != 10 {
+		t.Fatalf("Len = %d, want the 10-example cap", p.Len())
+	}
+}
+
+// TestPredictOrderInsensitive is the determinism half of the battery:
+// the same observed set in two different insertion orders must answer
+// every query identically — intervals, sizes, everything.
+func TestPredictOrderInsensitive(t *testing.T) {
+	const n = 120
+	fwd, rev := New(Config{}), New(Config{})
+	for i := 0; i < n; i++ {
+		fp, features, targets := synthExample(i)
+		fwd.Observe(fp, features, targets)
+	}
+	for i := n - 1; i >= 0; i-- {
+		fp, features, targets := synthExample(i)
+		rev.Observe(fp, features, targets)
+	}
+	for q := 0; q < 20; q++ {
+		_, features, _ := synthExample(10_000 + q)
+		a, aok := fwd.Predict(features)
+		b, bok := rev.Predict(features)
+		if aok != bok {
+			t.Fatalf("query %d: ok %v vs %v across insertion orders", q, aok, bok)
+		}
+		if !aok {
+			t.Fatalf("query %d: model declined with %d examples", q, n)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d: predictions differ across insertion orders:\n%+v\n%+v", q, a, b)
+		}
+	}
+}
+
+// TestCalibrationBattery holds the conformal machinery to its stated
+// coverage on a pinned holdout: train on one synthetic corpus, answer
+// a disjoint one, and require >= 90% of the holdout cells to land
+// inside their stated intervals for every metric at once.
+func TestCalibrationBattery(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 400; i++ {
+		fp, features, targets := synthExample(i)
+		p.Observe(fp, features, targets)
+	}
+	covered, total := 0, 0
+	for i := 0; i < 100; i++ {
+		_, features, targets := synthExample(20_000 + i)
+		pred, ok := p.Predict(features)
+		if !ok {
+			t.Fatalf("holdout %d: model declined to answer", i)
+		}
+		total++
+		if pred.Covers(targets) {
+			covered++
+		}
+	}
+	coverage := float64(covered) / float64(total)
+	t.Logf("holdout coverage: %d/%d = %.3f", covered, total, coverage)
+	if coverage < 0.9 {
+		t.Fatalf("holdout coverage %.3f below the 0.90 floor", coverage)
+	}
+}
+
+// TestRelWidthScales pins the normalized-width contract: the band a
+// prediction states is judged relative to each metric's magnitude
+// scale, floored per metric, so MaxRelWidth equals the conformal
+// quantile rather than exploding on near-zero metrics.
+func TestRelWidthScales(t *testing.T) {
+	iv := Interval{Metric: "l1i_mpki", Value: 0.001, Lo: -0.5, Hi: 0.5}
+	if got := iv.RelWidth(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("near-zero MPKI RelWidth = %v, want 0.5 (floored at 1 MPKI)", got)
+	}
+	iv = Interval{Metric: "ipc", Value: 2.0, Lo: 1.9, Hi: 2.1}
+	if got := iv.RelWidth(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("IPC RelWidth = %v, want 0.05", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 60; i++ {
+		fp, features, targets := synthExample(i)
+		p.Observe(fp, features, targets)
+	}
+	snap := p.Snapshot()
+	data, err := EncodeModelSnapshot(snap)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	decoded, err := DecodeModelSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	restored := New(Config{})
+	if err := restored.Restore(decoded); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if restored.Len() != p.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), p.Len())
+	}
+	for q := 0; q < 10; q++ {
+		_, features, _ := synthExample(30_000 + q)
+		a, aok := p.Predict(features)
+		b, bok := restored.Predict(features)
+		if aok != bok || !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d: restored model answers differently", q)
+		}
+	}
+	// Deterministic serialization: re-encoding the restored state must
+	// reproduce the original bytes.
+	again, err := EncodeModelSnapshot(restored.Snapshot())
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !reflect.DeepEqual(data, again) {
+		t.Fatal("snapshot encoding is not canonical across a round trip")
+	}
+}
+
+func TestDecodeModelSnapshotRejects(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 8; i++ {
+		fp, features, targets := synthExample(i)
+		p.Observe(fp, features, targets)
+	}
+	valid, err := EncodeModelSnapshot(p.Snapshot())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	cases := map[string][]byte{
+		"empty":             nil,
+		"no header":         []byte("{}"),
+		"bad magic":         append([]byte("ENTCKPT v1 00\n"), valid...),
+		"bad version":       []byte("ENTMODEL v99 00\n{}"),
+		"checksum mismatch": append(append([]byte(nil), valid[:len(valid)-2]...), 'X', valid[len(valid)-1]),
+		"truncated":         valid[:len(valid)/2],
+		"trailing data":     append(append([]byte(nil), valid...), []byte("{}")...),
+	}
+	for name, data := range cases {
+		if _, err := DecodeModelSnapshot(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestModelStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenModelStore(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	// Empty store: no snapshot, no error.
+	if _, ok, err := store.Load(); err != nil || ok {
+		t.Fatalf("Load on empty store = ok %v, err %v", ok, err)
+	}
+
+	p := New(Config{})
+	for i := 0; i < 12; i++ {
+		fp, features, targets := synthExample(i)
+		p.Observe(fp, features, targets)
+	}
+	snap := p.Snapshot()
+	if err := store.Save(snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// Idempotent: saving identical state is a no-op, not an error.
+	if err := store.Save(snap); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	loaded, ok, err := store.Load()
+	if err != nil || !ok {
+		t.Fatalf("Load = ok %v, err %v", ok, err)
+	}
+	if !reflect.DeepEqual(loaded, snap) {
+		t.Fatal("loaded snapshot differs from saved")
+	}
+}
+
+func TestModelStoreQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenModelStore(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := writeFileSync(store.Path(), []byte("ENTMODEL v1 deadbeef\nnot json")); err != nil {
+		t.Fatalf("planting corrupt snapshot: %v", err)
+	}
+	snap, ok, err := store.Load()
+	if err != nil {
+		t.Fatalf("Load on corrupt store errored: %v", err)
+	}
+	if ok {
+		t.Fatalf("Load returned a snapshot from corrupt bytes: %+v", snap)
+	}
+	if n := store.Quarantined(); n != 1 {
+		t.Fatalf("Quarantined = %d, want 1", n)
+	}
+	// The live path is clear again; a fresh save must succeed.
+	p := New(Config{})
+	fp, features, targets := synthExample(0)
+	p.Observe(fp, features, targets)
+	if err := store.Save(p.Snapshot()); err != nil {
+		t.Fatalf("save after quarantine: %v", err)
+	}
+	if _, ok, err := store.Load(); err != nil || !ok {
+		t.Fatalf("Load after re-save = ok %v, err %v", ok, err)
+	}
+}
+
+// FuzzModelSnapshotDecode holds DecodeModelSnapshot to its contract:
+// arbitrary bytes never panic, and anything it accepts must re-encode
+// to a decodable snapshot describing the same state.
+func FuzzModelSnapshotDecode(f *testing.F) {
+	p := New(Config{})
+	for i := 0; i < 6; i++ {
+		fp, features, targets := synthExample(i)
+		p.Observe(fp, features, targets)
+	}
+	valid, err := EncodeModelSnapshot(p.Snapshot())
+	if err != nil {
+		f.Fatalf("encode seed: %v", err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("ENTMODEL v1 00\n{}"))
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), "{}"...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeModelSnapshot(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeModelSnapshot(snap)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		back, err := DecodeModelSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(snap, back) {
+			t.Fatal("snapshot not stable across re-encode round trip")
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package predict
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ModelSchemaVersion is the on-disk model snapshot schema. Bump it
+// whenever MetricNames, FeatureLen, or the estimator's semantics
+// change; old snapshots are then rejected at decode (the server
+// quarantines them and starts a fresh model — approximate answers may
+// temporarily fall back to exact, but nothing is ever misread).
+const ModelSchemaVersion = 1
+
+// modelMagic prefixes every encoded snapshot, mirroring the
+// checkpoint store's "ENTCKPT" framing.
+const modelMagic = "ENTMODEL"
+
+// ErrModelCorrupt reports a snapshot that failed header, checksum, or
+// schema validation.
+var ErrModelCorrupt = errors.New("predict: corrupt model snapshot")
+
+// SnapshotExample is one training example in serialized form.
+type SnapshotExample struct {
+	Fingerprint string    `json:"fingerprint"`
+	Features    []float64 `json:"features"`
+	Targets     []float64 `json:"targets"`
+}
+
+// ModelSnapshot is the versioned, deterministic serialization of a
+// Predictor's training state. Examples are sorted by fingerprint, so
+// equal observed sets encode to equal bytes regardless of the order
+// the cells completed in.
+type ModelSnapshot struct {
+	SchemaVersion int               `json:"schema_version"`
+	Metrics       []string          `json:"metrics"`
+	FeatureLen    int               `json:"feature_len"`
+	Examples      []SnapshotExample `json:"examples"`
+}
+
+// Snapshot captures the predictor's current training state.
+func (p *Predictor) Snapshot() ModelSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := ModelSnapshot{
+		SchemaVersion: ModelSchemaVersion,
+		Metrics:       append([]string(nil), MetricNames...),
+		FeatureLen:    FeatureLen,
+		Examples:      make([]SnapshotExample, 0, len(p.all)),
+	}
+	for _, ex := range p.all {
+		snap.Examples = append(snap.Examples, SnapshotExample{
+			Fingerprint: ex.fp,
+			Features:    append([]float64(nil), ex.features...),
+			Targets:     append([]float64(nil), ex.targets...),
+		})
+	}
+	sort.Slice(snap.Examples, func(a, b int) bool {
+		return snap.Examples[a].Fingerprint < snap.Examples[b].Fingerprint
+	})
+	return snap
+}
+
+// Restore replaces the predictor's training state with a decoded
+// snapshot. The snapshot must already have passed DecodeModelSnapshot
+// validation; Restore re-checks the invariants it depends on.
+func (p *Predictor) Restore(snap ModelSnapshot) error {
+	if err := snap.validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.byFP = make(map[string]int, len(snap.Examples))
+	p.all = p.all[:0]
+	for _, ex := range snap.Examples {
+		if _, ok := p.byFP[ex.Fingerprint]; ok {
+			continue
+		}
+		if len(p.all) >= p.cfg.MaxExamples {
+			break
+		}
+		p.byFP[ex.Fingerprint] = len(p.all)
+		p.all = append(p.all, example{
+			fp:       ex.Fingerprint,
+			features: append([]float64(nil), ex.Features...),
+			targets:  append([]float64(nil), ex.Targets...),
+		})
+	}
+	p.version++
+	p.residuals = nil
+	return nil
+}
+
+func (s ModelSnapshot) validate() error {
+	if s.SchemaVersion != ModelSchemaVersion {
+		return fmt.Errorf("%w: schema version %d, want %d", ErrModelCorrupt, s.SchemaVersion, ModelSchemaVersion)
+	}
+	if len(s.Metrics) != len(MetricNames) {
+		return fmt.Errorf("%w: %d metrics, want %d", ErrModelCorrupt, len(s.Metrics), len(MetricNames))
+	}
+	for i, m := range s.Metrics {
+		if m != MetricNames[i] {
+			return fmt.Errorf("%w: metric[%d]=%q, want %q", ErrModelCorrupt, i, m, MetricNames[i])
+		}
+	}
+	if s.FeatureLen != FeatureLen {
+		return fmt.Errorf("%w: feature length %d, want %d", ErrModelCorrupt, s.FeatureLen, FeatureLen)
+	}
+	for i, ex := range s.Examples {
+		if ex.Fingerprint == "" {
+			return fmt.Errorf("%w: example %d has empty fingerprint", ErrModelCorrupt, i)
+		}
+		if len(ex.Features) != FeatureLen || len(ex.Targets) != len(MetricNames) {
+			return fmt.Errorf("%w: example %d has %d features / %d targets", ErrModelCorrupt, i, len(ex.Features), len(ex.Targets))
+		}
+		if !allFinite(ex.Features) || !allFinite(ex.Targets) {
+			return fmt.Errorf("%w: example %d has non-finite values", ErrModelCorrupt, i)
+		}
+	}
+	return nil
+}
+
+// EncodeModelSnapshot frames a snapshot as
+//
+//	ENTMODEL v<schema> <sha256-hex-of-payload>\n<json payload>
+//
+// — the same self-checking header layout as cell checkpoint records,
+// so a truncated or bit-flipped snapshot is detected before any field
+// is trusted.
+func EncodeModelSnapshot(snap ModelSnapshot) ([]byte, error) {
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("predict: encode snapshot: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s v%d %s\n", modelMagic, ModelSchemaVersion, hex.EncodeToString(sum[:]))
+	return append([]byte(header), payload...), nil
+}
+
+// DecodeModelSnapshot parses and fully validates an encoded snapshot.
+// Unknown fields, checksum mismatches, schema drift, wrong-length
+// vectors and non-finite values are all rejected with
+// ErrModelCorrupt; it never panics on arbitrary input
+// (FuzzModelSnapshotDecode).
+func DecodeModelSnapshot(data []byte) (ModelSnapshot, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return ModelSnapshot{}, fmt.Errorf("%w: missing header", ErrModelCorrupt)
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 3 || fields[0] != modelMagic {
+		return ModelSnapshot{}, fmt.Errorf("%w: bad header", ErrModelCorrupt)
+	}
+	if fields[1] != fmt.Sprintf("v%d", ModelSchemaVersion) {
+		return ModelSnapshot{}, fmt.Errorf("%w: unsupported version %q", ErrModelCorrupt, fields[1])
+	}
+	payload := data[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[2] {
+		return ModelSnapshot{}, fmt.Errorf("%w: checksum mismatch", ErrModelCorrupt)
+	}
+	var snap ModelSnapshot
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		return ModelSnapshot{}, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+	}
+	if dec.More() {
+		return ModelSnapshot{}, fmt.Errorf("%w: trailing data", ErrModelCorrupt)
+	}
+	if err := snap.validate(); err != nil {
+		return ModelSnapshot{}, err
+	}
+	return snap, nil
+}
+
+// modelFile is the fixed snapshot filename inside a ModelStore
+// directory.
+const modelFile = "model.snap"
+
+// ModelStore persists the model snapshot next to the checkpoint
+// store. It is deliberately *separate* from the CheckpointStore: the
+// two directories never share files, so no predictor write can ever
+// land where exact cell records live.
+type ModelStore struct {
+	dir string
+
+	mu          sync.Mutex
+	quarantined int
+}
+
+// OpenModelStore creates (if needed) and opens a snapshot store
+// directory.
+func OpenModelStore(dir string) (*ModelStore, error) {
+	if dir == "" {
+		return nil, errors.New("predict: empty model store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("predict: create model store: %w", err)
+	}
+	return &ModelStore{dir: dir}, nil
+}
+
+// Path returns the snapshot file path.
+func (s *ModelStore) Path() string { return filepath.Join(s.dir, modelFile) }
+
+// Save atomically persists a snapshot: encode, write to a temp file,
+// fsync, rename over the live file, fsync the directory. A crash at
+// any point leaves either the previous snapshot or the new one, never
+// a torn file.
+func (s *ModelStore) Save(snap ModelSnapshot) error {
+	data, err := EncodeModelSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.Path()
+	if prev, err := os.ReadFile(path); err == nil && bytes.Equal(prev, data) {
+		return nil
+	}
+	if err := writeFileSync(path, data); err != nil {
+		return fmt.Errorf("predict: save model snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads the stored snapshot. ok is false when no snapshot exists
+// or the stored one is corrupt — corrupt files are quarantined to
+// <file>.bad (like checkpoint records) and the caller starts with a
+// fresh model; a bad snapshot is never an error that blocks serving.
+func (s *ModelStore) Load() (ModelSnapshot, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.Path()
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ModelSnapshot{}, false, nil
+	}
+	if err != nil {
+		return ModelSnapshot{}, false, fmt.Errorf("predict: load model snapshot: %w", err)
+	}
+	snap, derr := DecodeModelSnapshot(data)
+	if derr != nil {
+		if qerr := os.Rename(path, path+".bad"); qerr != nil {
+			return ModelSnapshot{}, false, fmt.Errorf("predict: quarantine corrupt snapshot: %v (decode: %w)", qerr, derr)
+		}
+		s.quarantined++
+		return ModelSnapshot{}, false, nil
+	}
+	return snap, true, nil
+}
+
+// Quarantined reports how many corrupt snapshots this store has moved
+// aside.
+func (s *ModelStore) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// writeFileSync writes data to path via a temp file in the same
+// directory, fsyncs the file, renames it into place, and fsyncs the
+// directory.
+func writeFileSync(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return nil
+}

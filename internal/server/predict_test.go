@@ -1,0 +1,470 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"entangling/internal/harness"
+	"entangling/internal/predict"
+	"entangling/internal/workload"
+)
+
+// The approximate-mode battery sweeps a wider slab than the basic
+// end-to-end tests so the model accumulates enough training and
+// calibration history to actually serve predictions.
+var (
+	approxConfigs   = []string{"no", "nextline", "mana-4k", "djolt", "entangling-2k", "entangling-4k", "ideal"}
+	approxWorkloads = []string{"crypto-00", "int-00", "fp-00", "srv-00"}
+	// trainWarmups are the exact jobs' warmup windows; queryWarmup is
+	// held out, so every approximate-job cell is genuinely unseen.
+	trainWarmups = []uint64{20_000, 22_000, 24_000}
+	queryWarmup  = uint64(26_000)
+)
+
+// testBudget is the max_rel_err the battery submits with. Metrics at
+// these millisecond-scale test windows are genuinely noisy across
+// warmup variants, so honest conformal intervals are wide; the battery
+// tests the serving machinery, not model sharpness, and budgets
+// accordingly (cmd/predict-smoke holds the realistic-window model to
+// the real default).
+const testBudget = 4.0
+
+func approxTestConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Approximate = true
+	cfg.CheckpointDir = t.TempDir()
+	return cfg
+}
+
+// trainModel pushes the training sweeps through the server as ordinary
+// exact jobs and returns the last one's result document.
+func trainModel(t *testing.T, ts *httptest.Server) ResultDoc {
+	t.Helper()
+	var doc ResultDoc
+	for _, w := range trainWarmups {
+		sr := submitOK(t, ts, JobRequest{
+			Configurations: approxConfigs,
+			Workloads:      approxWorkloads,
+			Warmup:         w,
+			Measure:        testMeasure,
+		})
+		doc, _ = waitResult(t, ts, sr.ID)
+		if doc.State != StateCompleted {
+			t.Fatalf("training job (warmup %d) finished %q", w, doc.State)
+		}
+	}
+	return doc
+}
+
+func countCheckpoints(t *testing.T, dir string) int {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		t.Fatalf("globbing checkpoints: %v", err)
+	}
+	return len(files)
+}
+
+// TestExactBytesUnchangedWithPredictor is the first differential
+// guarantee: a predictor-enabled server answers exact-mode jobs with
+// bytes identical to a direct harness run — training is a pure
+// observer.
+func TestExactBytesUnchangedWithPredictor(t *testing.T) {
+	_, ts := startTestServer(t, approxTestConfig(t))
+	cfgNames := []string{"no", "nextline", "entangling-2k"}
+	wlNames := []string{"crypto-00", "int-00"}
+	sr := submitOK(t, ts, JobRequest{
+		Configurations: cfgNames,
+		Workloads:      wlNames,
+		Warmup:         testWarmup,
+		Measure:        testMeasure,
+	})
+	doc, _ := waitResult(t, ts, sr.ID)
+	if doc.State != StateCompleted {
+		t.Fatalf("job finished %q", doc.State)
+	}
+	if doc.Approximate || len(doc.Predictions) != 0 {
+		t.Fatalf("exact-mode result tagged approximate: %+v", doc.Cells)
+	}
+	want := directSweepSHA(t, cfgNames, wlNames)
+	if doc.MetricsSHA256 != want {
+		t.Fatalf("exact metrics fingerprint %s != direct harness %s with predictor enabled",
+			doc.MetricsSHA256, want)
+	}
+}
+
+// TestApproximateEndToEnd drives the whole fast path: train on exact
+// sweeps, query unseen cells approximately, and check provenance,
+// bands, SSE tagging, checkpoint hygiene and the persisted model.
+func TestApproximateEndToEnd(t *testing.T) {
+	cfg := approxTestConfig(t)
+	s, ts := startTestServer(t, cfg)
+	trainModel(t, ts)
+
+	ckptBefore := countCheckpoints(t, cfg.CheckpointDir)
+
+	sr := submitOK(t, ts, JobRequest{
+		Configurations: approxConfigs,
+		Workloads:      approxWorkloads,
+		Warmup:         queryWarmup,
+		Measure:        testMeasure,
+		Mode:           ModeApproximate,
+		MaxRelErr:      testBudget,
+	})
+	doc, _ := waitResult(t, ts, sr.ID)
+	if doc.State != StateCompleted {
+		t.Fatalf("approximate job finished %q", doc.State)
+	}
+	if !doc.Approximate {
+		t.Fatal("approximate job's result not tagged approximate")
+	}
+	total := len(approxConfigs) * len(approxWorkloads)
+	if doc.Cells.Predicted+doc.Cells.Fallback != total {
+		t.Fatalf("predicted %d + fallback %d != %d cells",
+			doc.Cells.Predicted, doc.Cells.Fallback, total)
+	}
+	if doc.Cells.Predicted == 0 {
+		t.Fatalf("model served no predictions after %d training cells (fallback %d)",
+			3*total, doc.Cells.Fallback)
+	}
+	if len(doc.Predictions) != doc.Cells.Predicted {
+		t.Fatalf("%d prediction records for %d predicted cells",
+			len(doc.Predictions), doc.Cells.Predicted)
+	}
+	for i, p := range doc.Predictions {
+		if i > 0 {
+			prev := doc.Predictions[i-1]
+			if p.Config < prev.Config || (p.Config == prev.Config && p.Workload <= prev.Workload) {
+				t.Fatalf("predictions not canonically sorted at %d: %+v after %+v", i, p, prev)
+			}
+		}
+		if len(p.Bands) != len(predict.MetricNames) {
+			t.Fatalf("prediction %s/%s has %d bands, want %d",
+				p.Config, p.Workload, len(p.Bands), len(predict.MetricNames))
+		}
+		for bi, b := range p.Bands {
+			if b.Metric != predict.MetricNames[bi] {
+				t.Fatalf("band %d metric %q, want %q", bi, b.Metric, predict.MetricNames[bi])
+			}
+			if b.Lo > b.Value || b.Value > b.Hi {
+				t.Fatalf("band %s of %s/%s not ordered: %+v", b.Metric, p.Config, p.Workload, b)
+			}
+		}
+		if p.TrainSize <= 0 || p.CalibrationSize <= 0 {
+			t.Fatalf("prediction %s/%s lacks model provenance: %+v", p.Config, p.Workload, p)
+		}
+	}
+
+	// SSE: every predicted cell's finished event is tagged approximate
+	// with its error bars; exact (fallback) cells are not.
+	events := readSSE(t, ts, sr.ID, "")
+	predicted, exact := 0, 0
+	for _, ev := range events {
+		if ev.Type != EventCellFinished {
+			continue
+		}
+		if ev.Source == SourcePredicted {
+			predicted++
+			if !ev.Approximate || len(ev.Bands) != len(predict.MetricNames) {
+				t.Fatalf("predicted cell event missing approximate tag or bands: %+v", ev)
+			}
+		} else {
+			exact++
+			if ev.Approximate || len(ev.Bands) != 0 {
+				t.Fatalf("exact cell event carries approximate markers: %+v", ev)
+			}
+		}
+	}
+	if predicted != doc.Cells.Predicted || exact != doc.Cells.Fallback {
+		t.Fatalf("SSE saw %d predicted / %d exact cells, result says %d / %d",
+			predicted, exact, doc.Cells.Predicted, doc.Cells.Fallback)
+	}
+
+	// Checkpoint hygiene: only the fallback cells (which actually
+	// simulated) may have added checkpoint records; predicted cells
+	// must never reach the store.
+	ckptAfter := countCheckpoints(t, cfg.CheckpointDir)
+	if got := ckptAfter - ckptBefore; got != doc.Cells.Fallback {
+		t.Fatalf("approximate job grew the checkpoint store by %d cells, want %d (its fallbacks)",
+			got, doc.Cells.Fallback)
+	}
+
+	// The model snapshot persists in its own directory, decodes
+	// strictly, and never shares the checkpoint store's namespace.
+	s.Drain()
+	snapPath := filepath.Join(cfg.CheckpointDir, "model", "model.snap")
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("reading persisted model: %v", err)
+	}
+	snap, err := predict.DecodeModelSnapshot(data)
+	if err != nil {
+		t.Fatalf("persisted model snapshot corrupt: %v", err)
+	}
+	if len(snap.Examples) == 0 {
+		t.Fatal("persisted model snapshot is empty")
+	}
+}
+
+// TestApproximateDeterminism is the second differential guarantee: two
+// servers given the same training history answer the same approximate
+// job identically, band for band.
+func TestApproximateDeterminism(t *testing.T) {
+	query := JobRequest{
+		Configurations: approxConfigs,
+		Workloads:      approxWorkloads,
+		Warmup:         queryWarmup,
+		Measure:        testMeasure,
+		Mode:           ModeApproximate,
+		MaxRelErr:      testBudget,
+	}
+	run := func() ResultDoc {
+		cfg := approxTestConfig(t)
+		_, ts := startTestServer(t, cfg)
+		trainModel(t, ts)
+		sr := submitOK(t, ts, query)
+		doc, _ := waitResult(t, ts, sr.ID)
+		if doc.State != StateCompleted {
+			t.Fatalf("approximate job finished %q", doc.State)
+		}
+		return doc
+	}
+	a, b := run(), run()
+	if a.Cells.Predicted == 0 {
+		t.Fatal("determinism check vacuous: no predictions served")
+	}
+	if !reflect.DeepEqual(a.Predictions, b.Predictions) {
+		t.Fatalf("same training history produced different predictions:\n%+v\n%+v",
+			a.Predictions, b.Predictions)
+	}
+	if a.Cells != b.Cells || a.MetricsSHA256 != b.MetricsSHA256 {
+		t.Fatalf("same training history produced different results: %+v vs %+v", a.Cells, b.Cells)
+	}
+}
+
+// TestApproximateTinyBudgetFallsBack: an error budget no model can
+// meet turns an approximate job into an exact one — same cells, same
+// bytes, fallback provenance.
+func TestApproximateTinyBudgetFallsBack(t *testing.T) {
+	_, ts := startTestServer(t, approxTestConfig(t))
+	trainModel(t, ts)
+
+	cfgNames := []string{"no", "entangling-2k"}
+	wlNames := []string{"crypto-00", "int-00"}
+	sr := submitOK(t, ts, JobRequest{
+		Configurations: cfgNames,
+		Workloads:      wlNames,
+		Warmup:         queryWarmup,
+		Measure:        testMeasure,
+		Mode:           ModeApproximate,
+		MaxRelErr:      1e-9,
+	})
+	doc, _ := waitResult(t, ts, sr.ID)
+	if doc.State != StateCompleted {
+		t.Fatalf("job finished %q", doc.State)
+	}
+	if doc.Cells.Predicted != 0 || doc.Cells.Fallback != len(cfgNames)*len(wlNames) {
+		t.Fatalf("tiny budget still served predictions: %+v", doc.Cells)
+	}
+	want := directSweepSHAWindows(t, cfgNames, wlNames, queryWarmup, testMeasure)
+	if doc.MetricsSHA256 != want {
+		t.Fatalf("all-fallback approximate job fingerprint %s != direct %s", doc.MetricsSHA256, want)
+	}
+}
+
+// TestApproximateRefinement: an exact job for previously predicted
+// cells scores each served interval against the truth and surfaces the
+// tally in /metrics.
+func TestApproximateRefinement(t *testing.T) {
+	_, ts := startTestServer(t, approxTestConfig(t))
+	trainModel(t, ts)
+
+	// The query window is held out of training: the follow-up exact
+	// job then actually simulates (an exact job over a trained window
+	// would dedupe onto the training job and refine nothing).
+	approx := submitOK(t, ts, JobRequest{
+		Configurations: approxConfigs,
+		Workloads:      approxWorkloads,
+		Warmup:         queryWarmup,
+		Measure:        testMeasure,
+		Mode:           ModeApproximate,
+		MaxRelErr:      testBudget,
+	})
+	adoc, _ := waitResult(t, ts, approx.ID)
+	if adoc.Cells.Predicted == 0 {
+		t.Fatal("refinement check vacuous: no predictions served")
+	}
+
+	// RefineToExact semantics: the same sweep, exact mode.
+	exact := submitOK(t, ts, JobRequest{
+		Configurations: approxConfigs,
+		Workloads:      approxWorkloads,
+		Warmup:         queryWarmup,
+		Measure:        testMeasure,
+	})
+	edoc, _ := waitResult(t, ts, exact.ID)
+	if edoc.State != StateCompleted || edoc.Approximate {
+		t.Fatalf("refining job: state %q approximate %v", edoc.State, edoc.Approximate)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, m := range []string{
+		"entangling_predictions_served_total",
+		"entangling_predictions_refined_total",
+		"entangling_predictions_within_interval_total",
+	} {
+		if !containsMetricLine(metrics, m) {
+			t.Fatalf("/metrics missing %s:\n%s", m, metrics)
+		}
+	}
+	refined := metricValue(t, metrics, "entangling_predictions_refined_total")
+	within := metricValue(t, metrics, "entangling_predictions_within_interval_total")
+	outside := metricValue(t, metrics, "entangling_predictions_outside_interval_total")
+	if refined != float64(adoc.Cells.Predicted) {
+		t.Fatalf("refined %v predictions, served %d", refined, adoc.Cells.Predicted)
+	}
+	if within+outside != refined {
+		t.Fatalf("within %v + outside %v != refined %v", within, outside, refined)
+	}
+	// The within/outside split is an accounting check here, not a model-
+	// quality gate: millisecond test windows drift more across warmups
+	// than their calibration split can promise, so only gross
+	// mis-scoring (bands compared against the wrong targets would put
+	// everything outside) should fail. Realistic-window coverage is
+	// gated by the predict battery and cmd/predict-smoke.
+	t.Logf("refinement: %v served, %v within, %v outside", refined, within, outside)
+	if within < 0.3*refined {
+		t.Fatalf("only %v/%v refined predictions within their bands — scoring looks broken", within, refined)
+	}
+}
+
+// TestApproximateModeRejections pins the submission-surface contract.
+func TestApproximateModeRejections(t *testing.T) {
+	base := JobRequest{
+		Configurations: []string{"no"},
+		Workloads:      []string{"crypto-00"},
+		Warmup:         testWarmup,
+		Measure:        testMeasure,
+	}
+
+	// Approximate mode on an exact-only server is a 400, not a silent
+	// exact run.
+	_, exactTS := startTestServer(t, testConfig())
+	req := base
+	req.Mode = ModeApproximate
+	if status, body := postJob(t, exactTS, req); status != http.StatusBadRequest {
+		t.Fatalf("mode=approximate on exact-only server: status %d, body %s", status, body)
+	}
+
+	_, ts := startTestServer(t, approxTestConfig(t))
+	cases := map[string]func(*JobRequest){
+		"unknown mode":              func(r *JobRequest) { r.Mode = "psychic" },
+		"max_rel_err in exact mode": func(r *JobRequest) { r.MaxRelErr = 0.1 },
+		"negative budget":           func(r *JobRequest) { r.Mode = ModeApproximate; r.MaxRelErr = -1 },
+	}
+	for name, mutate := range cases {
+		req := base
+		mutate(&req)
+		if status, body := postJob(t, ts, req); status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, body %s", name, status, body)
+		}
+	}
+
+	// An approximate job never dedupes onto the identical exact job.
+	exactSR := submitOK(t, ts, base)
+	req = base
+	req.Mode = ModeApproximate
+	approxSR := submitOK(t, ts, req)
+	if exactSR.ID == approxSR.ID {
+		t.Fatal("approximate submission deduped onto an exact job")
+	}
+	waitResult(t, ts, exactSR.ID)
+	waitResult(t, ts, approxSR.ID)
+}
+
+// directSweepSHAWindows runs the named cells through the harness
+// directly with explicit windows and fingerprints the metrics export
+// (directSweepSHA with the windows as parameters).
+func directSweepSHAWindows(t *testing.T, cfgNames, wlNames []string, warmup, measure uint64) string {
+	t.Helper()
+	byName := make(map[string]harness.Configuration)
+	for _, c := range harness.KnownConfigurations() {
+		byName[c.Name] = c
+	}
+	var cfgs []harness.Configuration
+	for _, n := range cfgNames {
+		c, ok := byName[n]
+		if !ok {
+			t.Fatalf("unknown configuration %q", n)
+		}
+		cfgs = append(cfgs, c)
+	}
+	specByName := make(map[string]workload.Spec)
+	for _, s := range workload.CVPSuite(1) {
+		specByName[s.Name] = s
+	}
+	var specs []workload.Spec
+	for _, n := range wlNames {
+		s, ok := specByName[n]
+		if !ok {
+			t.Fatalf("unknown workload %q", n)
+		}
+		specs = append(specs, s)
+	}
+	suite, err := harness.RunSuiteCtx(context.Background(), specs, cfgs,
+		harness.Options{Warmup: warmup, Measure: measure, Parallelism: 2})
+	if err != nil {
+		t.Fatalf("direct RunSuiteCtx: %v", err)
+	}
+	var sb strings.Builder
+	if err := harness.WriteMetricsJSON(&sb, suite.Metrics()); err != nil {
+		t.Fatalf("WriteMetricsJSON: %v", err)
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// containsMetricLine reports whether a /metrics export has a sample
+// line (not just HELP/TYPE commentary) for the named metric.
+func containsMetricLine(metrics, name string) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+			return true
+		}
+	}
+	return false
+}
+
+// metricValue extracts an unlabeled counter's value from a /metrics
+// export.
+func metricValue(t *testing.T, metrics, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parsing %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("/metrics has no sample for %s", name)
+	return 0
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -530,6 +531,118 @@ func TestPerTenantMetrics(t *testing.T) {
 		fmt.Sprintf(`entangling_tenant_rejected_total{tenant="acme",reason=%q} 1`, ReasonQuotaJobs),
 		"entangling_quota_rejected_total 1",
 		"entangling_auth_failures_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestQuotaApproximateDiscount: approximate-mode cells are admitted at
+// the reduced approxCellCost rate, every cell that falls back to exact
+// simulation posts the remaining 1-approxCellCost tokens, and served
+// predictions never pay the difference. The injected frozen clock
+// makes the token arithmetic exact — no refill happens mid-test.
+func TestQuotaApproximateDiscount(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+
+	cfg := tenantTestConfig()
+	cfg.Approximate = true
+	cfg.Tenants.Tenants[0].CellsPerSec = 2 // acme: burst of 2 tokens
+	cfg.clock = clock
+	s, ts := startTestServer(t, cfg)
+
+	// Four approximate cells cost 4*0.1 = 0.4 tokens at admission: the
+	// 2-token burst admits them with room to spare, where four exact
+	// cells would have drained it straight into debt.
+	sub := submitAs(t, ts, goldKey, JobRequest{
+		Configurations: []string{"no", "nextline"},
+		Workloads:      []string{"crypto-00", "int-00"},
+		Warmup:         testWarmup,
+		Measure:        testMeasure,
+		Mode:           ModeApproximate,
+		MaxRelErr:      testBudget,
+	})
+	waitStatusAs(t, ts, goldKey, sub.ID, func(d StatusDoc) bool { return terminalState(d.State) })
+
+	// The model is untrained, so all four cells simulated after all and
+	// each posted the remaining 0.9 tokens: 2 - 4*0.1 - 4*0.9 = -2.
+	acme := s.tenants.byName["acme"]
+	acme.mu.Lock()
+	tokens, approxCharged, fallbackCharged := acme.tokens, acme.approxCellsCharged, acme.fallbackCellsCharged
+	acme.mu.Unlock()
+	if approxCharged != 4 || fallbackCharged != 4 {
+		t.Fatalf("approx/fallback cells charged = %d/%d, want 4/4", approxCharged, fallbackCharged)
+	}
+	if math.Abs(tokens-(-2)) > 1e-9 {
+		t.Fatalf("token balance %v after four fallbacks, want -2", tokens)
+	}
+
+	// The fallback charges left the bucket in debt, so the next
+	// submission is rate-limited even though its own admission price is
+	// tiny: the discount defers the cost, it does not waive it.
+	b, _ := json.Marshal(smallJob(700))
+	status, body := doAs(t, ts, goldKey, "POST", "/v1/jobs", b)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("post-fallback submit: status %d, want 429 (%s)", status, body)
+	}
+	if r := reasonOf(t, body); r != ReasonQuotaCellRate {
+		t.Fatalf("post-fallback reason %q, want %q", r, ReasonQuotaCellRate)
+	}
+
+	// Train the server-side model through zeta's exact jobs, then query
+	// held-out cells approximately: served predictions pay only the
+	// discounted admission, never the fallback difference.
+	for _, w := range trainWarmups {
+		tr := submitAs(t, ts, bronzeKey, JobRequest{
+			Configurations: approxConfigs,
+			Workloads:      approxWorkloads,
+			Warmup:         w,
+			Measure:        testMeasure,
+		})
+		waitStatusAs(t, ts, bronzeKey, tr.ID, func(d StatusDoc) bool { return terminalState(d.State) })
+	}
+	q := submitAs(t, ts, bronzeKey, JobRequest{
+		Configurations: approxConfigs,
+		Workloads:      approxWorkloads,
+		Warmup:         queryWarmup,
+		Measure:        testMeasure,
+		Mode:           ModeApproximate,
+		MaxRelErr:      testBudget,
+	})
+	waitStatusAs(t, ts, bronzeKey, q.ID, func(d StatusDoc) bool { return terminalState(d.State) })
+
+	cells := uint64(len(approxConfigs) * len(approxWorkloads))
+	zeta := s.tenants.byName["zeta"]
+	zeta.mu.Lock()
+	zApprox, zFallback := zeta.approxCellsCharged, zeta.fallbackCellsCharged
+	zeta.mu.Unlock()
+	if zApprox != cells {
+		t.Fatalf("zeta approx cells charged = %d, want %d", zApprox, cells)
+	}
+	if zFallback != 0 {
+		t.Fatalf("served predictions posted fallback charges: %d cells", zFallback)
+	}
+
+	// /metrics carries the discounted-admission ledger per tenant.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(metricsBody)
+	for _, want := range []string{
+		`entangling_tenant_approx_cells_charged_total{tenant="acme"} 4`,
+		`entangling_tenant_fallback_cells_charged_total{tenant="acme"} 4`,
+		fmt.Sprintf(`entangling_tenant_approx_cells_charged_total{tenant="zeta"} %d`, cells),
+		`entangling_tenant_fallback_cells_charged_total{tenant="zeta"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q\n%s", want, text)
